@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Table 1's opcode-flip sandbox escape, quantified: escape and crash
+ * rates under hammering for the naive vs monotone opcode encodings,
+ * across flip rates and seeds — the Section 8 "monotonicity beyond
+ * page tables" principle applied to code integrity.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "dram/hammer.hh"
+#include "dram/module.hh"
+#include "ext/sandbox.hh"
+
+namespace {
+
+using namespace ctamem;
+
+struct Tally
+{
+    unsigned escapes = 0;
+    unsigned crashes = 0;
+    unsigned clean = 0;
+};
+
+Tally
+runSeries(ext::OpcodeEncoding encoding, double pf, unsigned trials)
+{
+    Tally tally;
+    for (unsigned seed = 1; seed <= trials; ++seed) {
+        dram::DramConfig config;
+        config.capacity = 64 * MiB;
+        config.rowBytes = 128 * KiB;
+        config.banks = 1;
+        config.cellMap =
+            dram::CellTypeMap::uniform(dram::CellType::True);
+        config.errors.pf = pf;
+        config.seed = seed;
+        dram::DramModule module(config);
+        dram::RowHammerEngine engine(module);
+
+        const Addr code = 1 * 128 * KiB;
+        ext::Sandbox sandbox(module, code, encoding);
+        sandbox.writeBenignProgram(64 * KiB, seed);
+        if (!sandbox.verify(64 * KiB))
+            continue;
+        engine.hammerDoubleSided(0, 1);
+        const ext::SandboxRun run = sandbox.run(64 * KiB);
+        if (run.escaped)
+            ++tally.escapes;
+        else if (run.crashed)
+            ++tally.crashes;
+        else
+            ++tally.clean;
+    }
+    return tally;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Sandbox escapes by opcode flip (16k-instruction "
+                 "verified programs, 24 modules per cell)\n\n";
+    std::cout << std::left << std::setw(10) << "Pf" << std::setw(12)
+              << "encoding" << std::right << std::setw(10)
+              << "escapes" << std::setw(10) << "crashes"
+              << std::setw(10) << "clean" << '\n';
+
+    int status = 0;
+    constexpr unsigned trials = 24;
+    for (const double pf : {1e-3, 1e-2, 5e-2}) {
+        const Tally naive =
+            runSeries(ext::OpcodeEncoding::Naive, pf, trials);
+        const Tally monotone =
+            runSeries(ext::OpcodeEncoding::Monotone, pf, trials);
+        std::cout << std::left << std::setw(10) << pf << std::setw(12)
+                  << "naive" << std::right << std::setw(10)
+                  << naive.escapes << std::setw(10) << naive.crashes
+                  << std::setw(10) << naive.clean << '\n';
+        std::cout << std::left << std::setw(10) << "" << std::setw(12)
+                  << "monotone" << std::right << std::setw(10)
+                  << monotone.escapes << std::setw(10)
+                  << monotone.crashes << std::setw(10)
+                  << monotone.clean << '\n';
+        if (monotone.escapes != 0)
+            status = 1; // the guarantee is absolute
+        if (pf >= 1e-2 && naive.escapes == 0)
+            status = 1; // the attack must be real on weak modules
+    }
+    std::cout << "\nmonotone encoding: privileged opcodes carry a "
+                 "bit no verified program contains; '1'->'0' faults "
+                 "cannot mint one (escapes provably 0 — crashes are "
+                 "the worst case).\n";
+    return status;
+}

@@ -1,0 +1,120 @@
+#include "attack/algorithm1.hh"
+
+#include <map>
+
+#include "attack/exploit.hh"
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "cta/theorem.hh"
+#include "paging/pte.hh"
+
+namespace ctamem::attack {
+
+using kernel::Kernel;
+using paging::Pte;
+
+AttackResult
+runAlgorithm1(Kernel &kernel, dram::RowHammerEngine &engine,
+              const Algorithm1Config &config,
+              Algorithm1Evidence *evidence)
+{
+    const cta::PtpZone *ptp = kernel.ptpZone();
+    if (!ptp)
+        fatal("Algorithm 1 targets a CTA system; boot with "
+              "AllocPolicy::Cta");
+
+    AttackResult result;
+    const int pid = kernel.createProcess("alg1-attacker");
+    AttackerContext ctx(kernel, engine, pid);
+
+    // Step (1): fill ZONE_PTP with PTEs pointing at one shared page.
+    const int fd = kernel.createFile(64 * KiB);
+    const std::vector<VAddr> mappings = ctx.sprayFileMappings(
+        fd, config.maxMappings, 64 * KiB, config.cost);
+    if (mappings.empty()) {
+        result.outcome = Outcome::Blocked;
+        result.detail = "spray failed";
+        return result;
+    }
+
+    // Snapshot every present leaf PTE in ZONE_PTP.
+    std::map<Addr, std::uint64_t> before;
+    for (const auto &[pfn, level] : kernel.pageTableFrames()) {
+        if (level != 1 || !ptp->contains(pfn))
+            continue;
+        for (std::uint64_t slot = 0; slot < paging::ptesPerPage;
+             ++slot) {
+            const Addr addr = pfnToAddr(pfn) + slot * 8;
+            const std::uint64_t raw = kernel.dram().readU64(addr);
+            if (Pte(raw).present())
+                before.emplace(addr, raw);
+        }
+    }
+
+    // Step (2): hammer every row of ZONE_PTP (repeatedly translating
+    // through PTEs in a row, TLB flushed, activates that row).
+    for (const mm::FrameSpan &span : ptp->subZones()) {
+        const Addr base = pfnToAddr(span.basePfn);
+        const Addr end = pfnToAddr(span.endPfn());
+        const std::uint64_t row_bytes =
+            kernel.dram().geometry().rowBytes();
+        for (Addr row = base; row < end; row += row_bytes) {
+            const dram::Location loc = kernel.dram().locate(row);
+            engine.hammerRow(loc.bank, loc.row);
+            ctx.charge(config.cost.hammerPerRow);
+            ++result.hammerPasses;
+        }
+    }
+    ctx.flushTlb();
+
+    // Step (3): check all PTEs for self-reference; also collect the
+    // monotonicity evidence the theorem predicts.
+    Algorithm1Evidence local;
+    local.ptesBefore = before.size();
+    const Addr lwm = ptp->lowWaterMark();
+    for (const auto &[addr, old_raw] : before) {
+        const std::uint64_t new_raw = kernel.dram().readU64(addr);
+        if (new_raw == old_raw)
+            continue;
+        ++local.ptesCorrupted;
+        result.flipsInduced +=
+            hammingDistance(new_raw, old_raw);
+        const Pte old_pte(old_raw);
+        const Pte new_pte(new_raw);
+        if (new_pte.pfn() < old_pte.pfn())
+            ++local.pointersMovedDown;
+        else if (new_pte.pfn() > old_pte.pfn())
+            ++local.pointersMovedUp;
+        if (new_pte.present() && pfnToAddr(new_pte.pfn()) >= lwm)
+            ++local.selfReferences;
+    }
+    result.ptesCorrupted = local.ptesCorrupted;
+    result.selfReferences = local.selfReferences;
+    ctx.charge(config.cost.checkPerPte * before.size());
+
+    if (local.selfReferences > 0) {
+        auto self_ref =
+            detectSelfReference(kernel, pid, mappings, 64 * KiB);
+        if (self_ref &&
+            escalate(kernel, pid, *self_ref, mappings, 64 * KiB)) {
+            result.outcome = Outcome::Escalated;
+            result.detail = "CTA breached (statistically expected in "
+                            "~1 of 2e5 systems)";
+        } else {
+            result.outcome = Outcome::SelfReference;
+            result.detail = "self-reference present but not "
+                            "exploitable";
+        }
+    } else {
+        result.outcome = Outcome::Blocked;
+        result.detail = "all corrupted pointers moved downward; no "
+                        "self-reference possible";
+    }
+
+    if (evidence)
+        *evidence = local;
+    result.attackTime = ctx.elapsed();
+    return result;
+}
+
+} // namespace ctamem::attack

@@ -1,0 +1,188 @@
+#include "attack/drammer.hh"
+
+#include <map>
+#include <set>
+
+#include "attack/exploit.hh"
+#include "common/log.hh"
+#include "paging/pte.hh"
+
+namespace ctamem::attack {
+
+using kernel::Kernel;
+
+namespace {
+
+constexpr VAddr arenaBase = 0x0000'0040'0000'0000ULL;
+constexpr paging::PageFlags rwFlags{true, false, false};
+
+/** Fill one arena page with a 64-bit pattern. */
+void
+fillPage(Kernel &kernel, int pid, VAddr page, std::uint64_t pattern)
+{
+    for (std::uint64_t slot = 0; slot < pageSize / 8; ++slot)
+        kernel.writeUser(pid, page + slot * 8, pattern);
+}
+
+} // namespace
+
+TemplateReport
+templateMemory(Kernel &kernel, dram::RowHammerEngine &engine,
+               const DrammerConfig &config, int *out_pid)
+{
+    const int pid = kernel.createProcess("drammer");
+    if (out_pid)
+        *out_pid = pid;
+    AttackerContext ctx(kernel, engine, pid);
+
+    // Page-granular arena: each page is its own VMA so single frames
+    // can be released during the massaging phase.
+    for (std::uint64_t i = 0; i < config.arenaPages; ++i) {
+        const VAddr va = arenaBase + i * pageSize;
+        if (kernel.mmapAnon(pid, pageSize, rwFlags, va) == 0)
+            fatal("drammer: arena mmap failed");
+        if (!kernel.touchUser(pid, va))
+            fatal("drammer: arena touch failed");
+    }
+
+    TemplateReport report;
+    for (const std::uint64_t pattern : {~0ULL, 0ULL}) {
+        for (std::uint64_t i = 0; i < config.arenaPages; ++i)
+            fillPage(kernel, pid, arenaBase + i * pageSize, pattern);
+
+        for (const auto &[bank, victim] : ctx.findSandwiches()) {
+            ctx.hammerSandwich(bank, victim, config.cost);
+            ++report.hammeredRows;
+        }
+        kernel.flushTlb();
+
+        for (std::uint64_t i = 0; i < config.arenaPages; ++i) {
+            const VAddr page = arenaBase + i * pageSize;
+            for (std::uint64_t slot = 0; slot < pageSize / 8; ++slot) {
+                const kernel::UserAccess access =
+                    kernel.readUser(pid, page + slot * 8);
+                if (!access || access.value == pattern)
+                    continue;
+                const std::uint64_t diff = access.value ^ pattern;
+                for (unsigned bit = 0; bit < 64; ++bit) {
+                    if (!((diff >> bit) & 1))
+                        continue;
+                    report.templates.push_back(FlipTemplate{
+                        page, addrToPfn(access.phys), slot, bit,
+                        /*downward=*/pattern == ~0ULL});
+                }
+            }
+        }
+    }
+    return report;
+}
+
+AttackResult
+runDrammer(Kernel &kernel, dram::RowHammerEngine &engine,
+           const DrammerConfig &config)
+{
+    AttackResult result;
+    int pid = -1;
+    TemplateReport report = templateMemory(kernel, engine, config,
+                                           &pid);
+    AttackerContext ctx(kernel, engine, pid);
+    result.flipsInduced = report.templates.size();
+    result.hammerPasses = report.hammeredRows;
+
+    // Current frame -> arena vaddr for pages still mapped.
+    std::map<Pfn, VAddr> frame_of;
+    for (std::uint64_t i = 0; i < config.arenaPages; ++i) {
+        const VAddr va = arenaBase + i * pageSize;
+        const kernel::UserAccess access = kernel.readUser(pid, va);
+        if (access)
+            frame_of[addrToPfn(access.phys)] = va;
+    }
+
+    unsigned tried = 0;
+    for (const FlipTemplate &tmpl : report.templates) {
+        if (tried >= config.maxTemplates)
+            break;
+        // Only flips inside the PTE frame-pointer field with a small
+        // frame delta are usable for the self-map construction.
+        if (tmpl.bit < paging::Pte::pfnLo || tmpl.bit > 30)
+            continue;
+        const unsigned j = tmpl.bit - paging::Pte::pfnLo;
+        const Pfn delta = 1ULL << j;
+        const Pfn table_frame = tmpl.frame;
+        // Data frame the templated PTE must point at so that the
+        // flip redirects it onto the table itself.
+        const bool table_bit_set = (table_frame >> j) & 1;
+        if (tmpl.downward == table_bit_set)
+            continue; // carry would break the single-bit arithmetic
+        const Pfn data_frame = tmpl.downward ? table_frame + delta :
+                                               table_frame - delta;
+
+        auto table_page = frame_of.find(table_frame);
+        auto data_page = frame_of.find(data_frame);
+        if (table_page == frame_of.end() ||
+            data_page == frame_of.end()) {
+            continue; // attacker does not own both frames
+        }
+        ++tried;
+
+        // --- Phys Feng Shui ---
+        const int fd = kernel.createFile(2 * MiB);
+        const std::uint64_t warm_slot = tmpl.slot == 0 ? 1 : 0;
+        const VAddr scratch =
+            kernel.mmapFile(pid, fd, 2 * MiB, rwFlags);
+        // Pre-warm one file page so the next fault allocates only a
+        // page-table frame.
+        kernel.touchUser(pid, scratch + warm_slot * pageSize);
+
+        // Free the templated frame; the kernel's next table
+        // allocation grabs it (lowest-address-first buddy)...
+        kernel.munmap(pid, table_page->second);
+        frame_of.erase(table_page);
+        const VAddr target =
+            kernel.mmapFile(pid, fd, 2 * MiB, rwFlags);
+        kernel.touchUser(pid, target + warm_slot * pageSize);
+
+        // ...then free the partner frame for the data page of the
+        // templated slot.
+        kernel.munmap(pid, data_page->second);
+        frame_of.erase(data_page);
+        kernel.touchUser(pid, target + tmpl.slot * pageSize);
+
+        // --- Re-hammer the templated row: the flip is reproducible.
+        const dram::Location loc =
+            kernel.dram().locate(pfnToAddr(table_frame));
+        const dram::HammerResult hammer =
+            ctx.hammerSandwich(loc.bank, loc.row, config.cost);
+        ++result.hammerPasses;
+        result.flipsInduced += hammer.total();
+
+        const std::vector<VAddr> window{target};
+        auto self_ref =
+            detectSelfReference(kernel, pid, window, 2 * MiB);
+        if (self_ref) {
+            ++result.selfReferences;
+            result.outcome = Outcome::SelfReference;
+            result.detail = "deterministic self-reference";
+            if (escalate(kernel, pid, *self_ref, window, 2 * MiB)) {
+                result.outcome = Outcome::Escalated;
+                result.detail = "deterministic escalation via "
+                                "templated flip";
+            }
+            result.attackTime = ctx.elapsed();
+            return result;
+        }
+        kernel.munmap(pid, target);
+        kernel.munmap(pid, scratch);
+    }
+
+    result.outcome = tried == 0 && report.templates.empty() ?
+                         Outcome::NoCorruption :
+                         Outcome::Blocked;
+    result.detail = kernel.ptpZone() ?
+        "CTA: page tables unreachable by templated placement" :
+        "no exploitable template fired";
+    result.attackTime = ctx.elapsed();
+    return result;
+}
+
+} // namespace ctamem::attack

@@ -1,0 +1,132 @@
+#include "attack/pagesize_attack.hh"
+
+#include <algorithm>
+
+#include "attack/exploit.hh"
+#include "common/log.hh"
+#include "paging/pte.hh"
+
+namespace ctamem::attack {
+
+using kernel::Kernel;
+using paging::Pte;
+
+AttackResult
+runPageSizeAttack(Kernel &kernel, dram::RowHammerEngine &engine,
+                  const PageSizeAttackConfig &config)
+{
+    const cta::PtpZone *ptp = kernel.ptpZone();
+    if (!ptp)
+        fatal("the page-size attack targets CTA systems; boot with "
+              "AllocPolicy::Cta");
+
+    AttackResult result;
+    const int pid = kernel.createProcess("ps-attacker");
+    AttackerContext ctx(kernel, engine, pid);
+    const paging::PageFlags rw{true, false, false};
+
+    // Populate ZONE_PTP with leaf tables worth hijacking.
+    const int fd = kernel.createFile(64 * KiB);
+    for (unsigned i = 0; i < config.sprayMappings; ++i) {
+        const VAddr base = kernel.mmapFile(pid, fd, 64 * KiB, rw);
+        if (base == 0 || !kernel.touchUser(pid, base))
+            break;
+    }
+
+    // Large pages whose first 4 KiB holds crafted PTEs sweeping the
+    // top-of-memory region where ZONE_PTP architecturally lives.
+    const std::uint64_t capacity = kernel.dram().geometry().capacity();
+    const Pfn sweep_base =
+        addrToPfn(capacity - 2 * ptp->trueBytes() -
+                  ptp->skippedAntiBytes());
+    const Pfn sweep_frames = addrToPfn(capacity) - sweep_base;
+    // Place the large pages in a distant VA region: their page
+    // directory is then allocated *after* the spray, several DRAM
+    // rows away from the attacker's own PML4/PDPT — hammering the PD
+    // row does not saw off the branch the attacker sits on.
+    constexpr VAddr largeRegion = 0x0000'0020'0000'0000ULL;
+    std::vector<VAddr> large_bases;
+    for (unsigned m = 0; m < config.largeMappings; ++m) {
+        const VAddr base = kernel.mmapAnonLarge(
+            pid, rw, 2, largeRegion + m * 2 * MiB);
+        if (base == 0)
+            break;
+        large_bases.push_back(base);
+        // Stride the sweep so every mapping's 512 slots span the
+        // whole top region: whichever PD entry flips, its window
+        // contains page-table frames.
+        const Pfn stride = std::max<Pfn>(
+            1, sweep_frames / paging::ptesPerPage);
+        for (std::uint64_t slot = 0; slot < paging::ptesPerPage;
+             ++slot) {
+            const Pfn target =
+                sweep_base + (slot * stride + m) % sweep_frames;
+            const Pte crafted =
+                Pte::make(target, paging::PageFlags{true, true});
+            kernel.writeUser(pid, base + slot * 8, crafted.raw());
+        }
+    }
+    ctx.charge(config.cost.sprayFill);
+    if (large_bases.empty()) {
+        result.outcome = Outcome::Blocked;
+        result.detail = "no large pages available";
+        return result;
+    }
+
+    // Hammer ZONE_PTP one row at a time, checking after every pass
+    // (exactly Algorithm 1's loop structure): at simulation-scale
+    // flip rates, blanket hammering would also corrupt the
+    // attacker's own PML4/PDPT and sever the very mappings used for
+    // detection.  A real attacker faces the same self-destruction
+    // hazard and likewise checks per row; sweeping from the bottom
+    // of the zone upward postpones the rows holding the oldest
+    // (root) tables to the end.
+    const std::uint64_t row_bytes = kernel.dram().geometry().rowBytes();
+    std::vector<Addr> rows;
+    for (const mm::FrameSpan &span : ptp->subZones()) {
+        for (Addr row = pfnToAddr(span.basePfn);
+             row < pfnToAddr(span.endPfn()); row += row_bytes) {
+            rows.push_back(row);
+        }
+    }
+    if (config.sweepFromTop)
+        std::reverse(rows.begin(), rows.end());
+    std::optional<SelfReference> self_ref;
+    for (auto it = rows.begin(); it != rows.end() && !self_ref;
+         ++it) {
+        const dram::Location loc = kernel.dram().locate(*it);
+        const dram::HammerResult hammer =
+            engine.hammerDoubleSided(loc.bank, loc.row);
+        result.flipsInduced += hammer.total();
+        ++result.hammerPasses;
+        ctx.charge(config.cost.hammerPerRow);
+
+        // A flipped PS bit exposes the crafted window: the large
+        // region now reads page-table (or other ZONE_PTP) content.
+        ctx.flushTlb();
+        self_ref = detectSelfReference(kernel, pid, large_bases,
+                                       2 * MiB);
+        ctx.charge(config.cost.checkPerPte * large_bases.size() *
+                   paging::ptesPerPage);
+    }
+    if (self_ref) {
+        ++result.selfReferences;
+        result.outcome = Outcome::SelfReference;
+        result.detail = "PS-bit flip exposed ZONE_PTP through a "
+                        "crafted large page";
+        if (escalate(kernel, pid, *self_ref, large_bases, 2 * MiB)) {
+            result.outcome = Outcome::Escalated;
+            result.detail = "kernel secret read via hijacked PS bit";
+        }
+    } else {
+        result.outcome = Outcome::Blocked;
+        result.detail =
+            ptp->screenedFrames() > 0 ?
+                "PS-bit screening left no exploitable PD frames" :
+                "no PS bit flipped on this module";
+    }
+    result.attackTime = ctx.elapsed();
+    return result;
+}
+
+} // namespace ctamem::attack

@@ -1,0 +1,98 @@
+#include "attack/primitives.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/log.hh"
+
+namespace ctamem::attack {
+
+using kernel::Process;
+
+std::vector<VAddr>
+AttackerContext::sprayFileMappings(int fd, unsigned mappings,
+                                   std::uint64_t bytes_each,
+                                   const CostModel &cost)
+{
+    std::vector<VAddr> bases;
+    bases.reserve(mappings);
+    const paging::PageFlags rw{true, false, false};
+    for (unsigned i = 0; i < mappings; ++i) {
+        const VAddr base =
+            kernel_.mmapFile(pid_, fd, bytes_each, rw);
+        if (base == 0)
+            fatal("spray: mmap failed after ", i, " mappings");
+        // Touching one page per mapping materializes the leaf table.
+        if (!kernel_.touchUser(pid_, base))
+            break; // ZONE_PTP exhausted under CTA: spray saturated
+        bases.push_back(base);
+    }
+    charge(cost.sprayFill);
+    return bases;
+}
+
+std::vector<OwnedRow>
+AttackerContext::ownedRows()
+{
+    // Group the process's resident pages by (bank, logical row).
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::vector<VAddr>> groups;
+    Process &proc = kernel_.process(pid_);
+    for (const kernel::Vma &vma : proc.vmas) {
+        for (VAddr va = vma.start; va < vma.end(); va += pageSize) {
+            const paging::WalkResult walk =
+                kernel_.mmu().walker().walk(
+                    proc.rootPfn, va, paging::AccessType::Read,
+                    paging::Privilege::User);
+            if (!walk.ok())
+                continue; // not yet faulted in
+            const dram::Location loc =
+                kernel_.dram().locate(walk.phys);
+            groups[{loc.bank, loc.row}].push_back(va);
+        }
+    }
+    std::vector<OwnedRow> rows;
+    rows.reserve(groups.size());
+    for (auto &[key, vaddrs] : groups)
+        rows.push_back(OwnedRow{key.first, key.second,
+                                std::move(vaddrs)});
+    return rows;
+}
+
+dram::HammerResult
+AttackerContext::hammerOwnRow(VAddr vaddr, const CostModel &cost)
+{
+    const kernel::UserAccess access = kernel_.readUser(pid_, vaddr);
+    if (!access)
+        fatal("hammerOwnRow: attacker cannot access its own page");
+    const dram::Location loc = kernel_.dram().locate(access.phys);
+    charge(cost.hammerPerRow);
+    return engine_.hammerRow(loc.bank, loc.row);
+}
+
+dram::HammerResult
+AttackerContext::hammerSandwich(std::uint64_t bank,
+                                std::uint64_t victim_row,
+                                const CostModel &cost)
+{
+    charge(cost.hammerPerRow);
+    return engine_.hammerDoubleSided(bank, victim_row);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+AttackerContext::findSandwiches()
+{
+    std::set<std::pair<std::uint64_t, std::uint64_t>> owned;
+    for (const OwnedRow &row : ownedRows())
+        owned.insert({row.bank, row.row});
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sandwiches;
+    for (const auto &[bank, row] : owned) {
+        if (owned.contains({bank, row + 2}))
+            sandwiches.emplace_back(bank, row + 1);
+    }
+    return sandwiches;
+}
+
+} // namespace ctamem::attack

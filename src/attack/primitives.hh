@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Attacker-side primitives.
+ *
+ * An AttackerContext wraps one unprivileged process and exposes only
+ * operations a real user-mode attacker has: mapping memory, touching
+ * it, timing/hammering rows *it owns pages in* (repeatedly accessing
+ * its own virtual addresses opens those DRAM rows), and flushing the
+ * TLB.  Physical-layout knowledge flows in only through the documented
+ * real-world channels (deterministic allocator behaviour, templating).
+ */
+
+#ifndef CTAMEM_ATTACK_PRIMITIVES_HH
+#define CTAMEM_ATTACK_PRIMITIVES_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/hammer.hh"
+#include "kernel/kernel.hh"
+
+namespace ctamem::attack {
+
+/** Cost model for attack-time accounting (Section 5 measurements). */
+struct CostModel
+{
+    SimTime sprayFill = 184 * milliseconds;  //!< step (1) per page
+    SimTime hammerPerRow = 64 * milliseconds;//!< step (2), one refresh
+    SimTime checkPerPte = 600;               //!< step (3), memcmp (ns)
+};
+
+/** A DRAM row the attacker can aggress, with its owned pages. */
+struct OwnedRow
+{
+    std::uint64_t bank;
+    std::uint64_t row;                //!< logical in-bank row
+    std::vector<VAddr> vaddrs;        //!< attacker pages in this row
+};
+
+/** The attacker's toolkit around one unprivileged process. */
+class AttackerContext
+{
+  public:
+    AttackerContext(kernel::Kernel &kernel, dram::RowHammerEngine &engine,
+                    int pid)
+        : kernel_(kernel), engine_(engine), pid_(pid)
+    {}
+
+    kernel::Kernel &kernel() { return kernel_; }
+    dram::RowHammerEngine &engine() { return engine_; }
+    int pid() const { return pid_; }
+
+    SimTime elapsed() const { return elapsed_; }
+    void charge(SimTime dt) { elapsed_ += dt; }
+
+    /**
+     * Map a shared file repeatedly: @p mappings mappings of
+     * @p bytes_each bytes, touching the first page of each so the
+     * kernel sprays page-table pages (the ProjectZero step 1).
+     * @return the mapping base addresses.
+     */
+    std::vector<VAddr> sprayFileMappings(int fd, unsigned mappings,
+                                         std::uint64_t bytes_each,
+                                         const CostModel &cost);
+
+    /**
+     * DRAM rows in which this process currently owns at least one
+     * mapped page, discovered by the access-pattern side channel.
+     */
+    std::vector<OwnedRow> ownedRows();
+
+    /**
+     * Hammer the row containing the attacker page @p vaddr for one
+     * refresh window (single-sided: tight read loop on one row).
+     */
+    dram::HammerResult hammerOwnRow(VAddr vaddr, const CostModel &cost);
+
+    /**
+     * Double-sided hammer: requires attacker pages in rows v-1 and
+     * v+1 of victim row @p victim_row.  The caller found such a
+     * sandwich via findSandwiches().
+     */
+    dram::HammerResult hammerSandwich(std::uint64_t bank,
+                                      std::uint64_t victim_row,
+                                      const CostModel &cost);
+
+    /**
+     * Victim rows sandwiched between two attacker-owned rows: the
+     * double-sided targets.
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    findSandwiches();
+
+    /** Flush the TLB so corrupted PTEs become visible (clflush). */
+    void
+    flushTlb()
+    {
+        kernel_.flushTlb();
+    }
+
+  private:
+    kernel::Kernel &kernel_;
+    dram::RowHammerEngine &engine_;
+    int pid_;
+    SimTime elapsed_ = 0;
+};
+
+} // namespace ctamem::attack
+
+#endif // CTAMEM_ATTACK_PRIMITIVES_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The probabilistic PTE-spray privilege-escalation attack (Seaborn &
+ * Dullien, ProjectZero 2015 — reference [32] of the paper).
+ *
+ * The attacker maps one file a great many times (each mapping forces
+ * the kernel to allocate a fresh leaf page table), interleaving its
+ * own anonymous pages so the buddy allocator lays attacker rows and
+ * page-table rows side by side.  It then double-side-hammers the
+ * sandwiched rows, flushes the TLB, and scans its mappings for a PTE
+ * whose frame pointer was flipped into a page-table page — the PTE
+ * self-reference that hands it the machine.
+ */
+
+#ifndef CTAMEM_ATTACK_PROJECTZERO_HH
+#define CTAMEM_ATTACK_PROJECTZERO_HH
+
+#include "attack/primitives.hh"
+#include "attack/result.hh"
+#include "kernel/kernel.hh"
+
+namespace ctamem::attack {
+
+/** Tunables of the spray attack. */
+struct ProjectZeroConfig
+{
+    unsigned mappings = 512;          //!< spray width
+    std::uint64_t bytesPerMapping = 64 * KiB;
+    unsigned anonPagesPerMapping = 2; //!< interleaved aggressor pages
+    unsigned maxPasses = 8;           //!< hammer/check iterations
+    CostModel cost;
+};
+
+/**
+ * Run the attack against @p kernel from a fresh unprivileged process.
+ * Deterministic given the kernel's DRAM seed.
+ */
+AttackResult runProjectZero(kernel::Kernel &kernel,
+                            dram::RowHammerEngine &engine,
+                            const ProjectZeroConfig &config = {});
+
+} // namespace ctamem::attack
+
+#endif // CTAMEM_ATTACK_PROJECTZERO_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Common result type for all simulated RowHammer attacks.
+ */
+
+#ifndef CTAMEM_ATTACK_RESULT_HH
+#define CTAMEM_ATTACK_RESULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ctamem::attack {
+
+/** Why an attack run ended. */
+enum class Outcome : std::uint8_t
+{
+    Escalated,       //!< attacker read the kernel secret (root)
+    SelfReference,   //!< PTE self-reference achieved but not exploited
+    KernelCorrupted, //!< kernel-owned memory corrupted (isolation
+                     //!< broken) without a usable self-reference
+    NoCorruption,    //!< hammering produced no usable corruption
+    Detected,        //!< a mitigation detected and stopped the attack
+    Blocked,         //!< structurally impossible (e.g. CTA zones)
+};
+
+/** Human-readable outcome name. */
+const char *outcomeName(Outcome outcome);
+
+/** What a simulated attack achieved. */
+struct AttackResult
+{
+    Outcome outcome = Outcome::NoCorruption;
+    SimTime attackTime = 0;     //!< modeled wall-clock cost
+    std::uint64_t hammerPasses = 0;
+    std::uint64_t flipsInduced = 0;
+    std::uint64_t ptesCorrupted = 0; //!< PTEs whose pointer changed
+    std::uint64_t selfReferences = 0;
+    std::string detail;
+
+    bool succeeded() const { return outcome == Outcome::Escalated; }
+};
+
+} // namespace ctamem::attack
+
+#endif // CTAMEM_ATTACK_RESULT_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bit-manipulation helpers: field extraction/insertion, popcount,
+ * hamming distance, power-of-two arithmetic.
+ */
+
+#ifndef CTAMEM_COMMON_BITOPS_HH
+#define CTAMEM_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace ctamem {
+
+/** Extract bits [lo, hi] (inclusive) of @p value, shifted to bit 0. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    const std::uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Return @p value with bits [lo, hi] replaced by @p field. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned hi, unsigned lo,
+           std::uint64_t field)
+{
+    const unsigned width = hi - lo + 1;
+    const std::uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Test a single bit. */
+constexpr bool
+bit(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1ULL;
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popcount(std::uint64_t value)
+{
+    return static_cast<unsigned>(std::popcount(value));
+}
+
+/** Hamming distance between two words. */
+constexpr unsigned
+hammingDistance(std::uint64_t a, std::uint64_t b)
+{
+    return popcount(a ^ b);
+}
+
+/** True iff @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)). @pre value > 0. */
+constexpr unsigned
+log2Floor(std::uint64_t value)
+{
+    return 63 - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/** ceil(log2(value)). @pre value > 0. */
+constexpr unsigned
+log2Ceil(std::uint64_t value)
+{
+    return value <= 1 ? 0 : log2Floor(value - 1) + 1;
+}
+
+} // namespace ctamem
+
+#endif // CTAMEM_COMMON_BITOPS_HH

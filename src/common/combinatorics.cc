@@ -1,0 +1,63 @@
+#include "common/combinatorics.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace ctamem {
+
+double
+logFactorial(unsigned n)
+{
+    return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double
+logChoose(unsigned n, unsigned k)
+{
+    if (k > n)
+        ctamem_panic("logChoose: k=", k, " > n=", n);
+    return logFactorial(n) - logFactorial(k) - logFactorial(n - k);
+}
+
+double
+choose(unsigned n, unsigned k)
+{
+    if (k > n)
+        return 0.0;
+    return std::exp(logChoose(n, k));
+}
+
+double
+binomialTerm(unsigned n, unsigned i, double pUp, double pDown)
+{
+    if (i > n)
+        return 0.0;
+    if (pUp <= 0.0)
+        return i == 0 ? std::pow(1.0 - pDown, n) : 0.0;
+    const double logTerm = logChoose(n, i) +
+        static_cast<double>(i) * std::log(pUp) +
+        static_cast<double>(n - i) * std::log1p(-pDown);
+    return std::exp(logTerm);
+}
+
+double
+binomialTail(unsigned n, unsigned minFlips, double pUp, double pDown)
+{
+    double sum = 0.0;
+    for (unsigned i = minFlips; i <= n; ++i)
+        sum += binomialTerm(n, i, pUp, pDown);
+    return sum;
+}
+
+double
+atLeastOne(double p, double trials)
+{
+    if (p <= 0.0)
+        return 0.0;
+    if (p >= 1.0)
+        return 1.0;
+    return -std::expm1(trials * std::log1p(-p));
+}
+
+} // namespace ctamem

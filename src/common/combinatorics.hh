@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Numerically careful combinatorics used by the closed-form security
+ * model (Section 5 of the paper): binomial coefficients and binomial
+ * probability terms evaluated in log space so that quantities like
+ * (Pf * P01)^i with Pf*P01 ~ 2e-7 survive without underflow for the
+ * ranges the model sweeps.
+ */
+
+#ifndef CTAMEM_COMMON_COMBINATORICS_HH
+#define CTAMEM_COMMON_COMBINATORICS_HH
+
+#include <cstdint>
+
+namespace ctamem {
+
+/** log(n!) via lgamma. */
+double logFactorial(unsigned n);
+
+/** log(C(n, k)). @pre k <= n. */
+double logChoose(unsigned n, unsigned k);
+
+/** C(n, k) as a double (exact for the small n used here). */
+double choose(unsigned n, unsigned k);
+
+/**
+ * One binomial-style term of the paper's exploitability sum:
+ * C(n, i) * pUp^i * (1 - pDown)^(n - i), evaluated in log space.
+ *
+ * @param n     bits in the PTP indicator
+ * @param i     number of 0->1 flips required
+ * @param pUp   probability a bit flips 0->1 (Pf * P01)
+ * @param pDown probability a bit flips 1->0 (Pf * P10)
+ */
+double binomialTerm(unsigned n, unsigned i, double pUp, double pDown);
+
+/**
+ * Tail sum of binomialTerm for i = minFlips .. n.  This is exactly the
+ * paper's P_exploitable with minFlips = 1 (no restriction) or
+ * minFlips = 2 (at least two 0s enforced in the PTP indicator).
+ */
+double binomialTail(unsigned n, unsigned minFlips, double pUp,
+                    double pDown);
+
+/**
+ * Probability that at least one of @p trials independent events of
+ * probability @p p occurs, computed stably as -expm1(trials*log1p(-p)).
+ */
+double atLeastOne(double p, double trials);
+
+} // namespace ctamem
+
+#endif // CTAMEM_COMMON_COMBINATORICS_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic random-number utilities.
+ *
+ * Two distinct needs in ctamem:
+ *  - a sequential PRNG (Rng) for sampling attack outcomes, workload
+ *    generation, Monte-Carlo estimation; and
+ *  - a *stateless stable hash* (stableHash / cellHash01) that maps a
+ *    (seed, key...) tuple to a reproducible pseudo-random value.  The
+ *    DRAM fault model uses it so that a given cell's RowHammer
+ *    vulnerability is an immutable property of the simulated module —
+ *    the precondition for Drammer-style memory templating.
+ */
+
+#ifndef CTAMEM_COMMON_RNG_HH
+#define CTAMEM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace ctamem {
+
+/** splitmix64 step: the core mixing function used everywhere below. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine any number of 64-bit keys into one stable hash value. */
+constexpr std::uint64_t
+stableHash(std::uint64_t seed)
+{
+    return splitmix64(seed);
+}
+
+template <typename... Rest>
+constexpr std::uint64_t
+stableHash(std::uint64_t seed, std::uint64_t key, Rest... rest)
+{
+    return stableHash(splitmix64(seed ^ (key + 0x517cc1b727220a95ULL)),
+                      rest...);
+}
+
+/** Map a stable hash of the keys to a double uniform in [0, 1). */
+template <typename... Keys>
+constexpr double
+hash01(std::uint64_t seed, Keys... keys)
+{
+    // 53 high bits -> exactly representable double in [0,1).
+    return static_cast<double>(stableHash(seed, keys...) >> 11) *
+           (1.0 / 9007199254740992.0);
+}
+
+/**
+ * Sequential PRNG (xoshiro256** core seeded from splitmix64).
+ * Not thread-safe; create one per worker.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_)
+            word = splitmix64(x++);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection sampling removes modulo bias.
+        const std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace ctamem
+
+#endif // CTAMEM_COMMON_RNG_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Lightweight statistics collection: named counters, scalar samples
+ * with mean/min/max/stddev, and simple fixed-bucket histograms.  Every
+ * subsystem exposes its observable behaviour through these so tests
+ * and benches can assert on it.
+ */
+
+#ifndef CTAMEM_COMMON_STATS_HH
+#define CTAMEM_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ctamem {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates scalar samples and reports summary statistics. */
+class SampleStat
+{
+  public:
+    void
+    record(double x)
+    {
+        ++count_;
+        sum_ += x;
+        sumSq_ += x * x;
+        if (count_ == 1 || x < min_)
+            min_ = x;
+        if (count_ == 1 || x > max_)
+            max_ = x;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = sumSq_ = min_ = max_ = 0.0;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    double
+    stddev() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        const double m = mean();
+        const double var =
+            (sumSq_ - count_ * m * m) / static_cast<double>(count_ - 1);
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width-bucket histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, unsigned buckets)
+        : lo_(lo), hi_(hi), counts_(buckets, 0)
+    {}
+
+    void
+    record(double x)
+    {
+        ++total_;
+        if (x < lo_) {
+            ++underflow_;
+        } else if (x >= hi_) {
+            ++overflow_;
+        } else {
+            const auto idx = static_cast<std::size_t>(
+                (x - lo_) / (hi_ - lo_) * counts_.size());
+            ++counts_[idx];
+        }
+    }
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/** A named bag of counters, for subsystems with many event types. */
+class StatGroup
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    std::uint64_t
+    value(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[name, counter] : counters_)
+            os << name << " = " << counter.value() << '\n';
+    }
+
+    void
+    reset()
+    {
+        for (auto &[name, counter] : counters_)
+            counter.reset();
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace ctamem
+
+#endif // CTAMEM_COMMON_STATS_HH

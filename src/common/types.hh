@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fundamental integer types and memory/time units shared by every
+ * ctamem subsystem.
+ */
+
+#ifndef CTAMEM_COMMON_TYPES_HH
+#define CTAMEM_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ctamem {
+
+/** A physical memory address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** A physical page frame number (Addr >> pageShift). */
+using Pfn = std::uint64_t;
+
+/** A virtual address in a simulated process. */
+using VAddr = std::uint64_t;
+
+/** Simulated time in nanoseconds. */
+using SimTime = std::uint64_t;
+
+/** Byte-size units. */
+constexpr std::uint64_t KiB = 1024ULL;
+constexpr std::uint64_t MiB = 1024ULL * KiB;
+constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/** Time units expressed in SimTime (nanoseconds). */
+constexpr SimTime nanoseconds = 1ULL;
+constexpr SimTime microseconds = 1000ULL * nanoseconds;
+constexpr SimTime milliseconds = 1000ULL * microseconds;
+constexpr SimTime seconds = 1000ULL * milliseconds;
+
+/** The simulated architecture uses 4 KiB base pages throughout. */
+constexpr unsigned pageShift = 12;
+constexpr std::uint64_t pageSize = 1ULL << pageShift;
+constexpr std::uint64_t pageMask = pageSize - 1;
+
+/** Convert a byte address to its page frame number. */
+constexpr Pfn
+addrToPfn(Addr addr)
+{
+    return addr >> pageShift;
+}
+
+/** Convert a page frame number to the base byte address of the frame. */
+constexpr Addr
+pfnToAddr(Pfn pfn)
+{
+    return pfn << pageShift;
+}
+
+/** Round @p addr down to its containing page boundary. */
+constexpr Addr
+pageAlignDown(Addr addr)
+{
+    return addr & ~pageMask;
+}
+
+/** Round @p addr up to the next page boundary. */
+constexpr Addr
+pageAlignUp(Addr addr)
+{
+    return (addr + pageMask) & ~pageMask;
+}
+
+/** An invalid PFN sentinel (no real frame sits at the top of 2^64). */
+constexpr Pfn invalidPfn = ~0ULL;
+
+} // namespace ctamem
+
+#endif // CTAMEM_COMMON_TYPES_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Configuration of the Cell-Type-Aware allocation policy.
+ */
+
+#ifndef CTAMEM_CTA_CONFIG_HH
+#define CTAMEM_CTA_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ctamem::cta {
+
+/** Tunables of the CTA defense (Sections 4-7 of the paper). */
+struct CtaConfig
+{
+    /**
+     * True-cell bytes ZONE_PTP must provide (the paper evaluates
+     * 32 MiB and 64 MiB; 32 MiB suffices for typical systems).
+     */
+    std::uint64_t ptpBytes = 32 * MiB;
+
+    /**
+     * Minimum number of '0' bits the PTP indicator of any
+     * user-reachable physical address must contain.  0 disables the
+     * restriction; the paper's hardened configuration uses 2, which
+     * reserves addresses with fewer zeros for the kernel and trusted
+     * processes and drives the expected number of exploitable PTEs
+     * below 1e-5.
+     */
+    unsigned minIndicatorZeros = 0;
+
+    /**
+     * Place each paging level in its own PTP zone, higher levels at
+     * higher physical addresses (Section 7's defense for multiple
+     * page sizes).
+     */
+    bool multiLevelZones = false;
+
+    /**
+     * With multi-level zones: screen out candidate table frames whose
+     * PS-bit cells are RowHammer-vulnerable in the '1'->'0' direction
+     * (Section 7's final hardening step).
+     */
+    bool screenPageSizeBit = false;
+};
+
+} // namespace ctamem::cta
+
+#endif // CTAMEM_CTA_CONFIG_HH

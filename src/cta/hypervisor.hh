@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Section 7 virtual-machine support.
+ *
+ * The hypervisor reserves ZONE_HYPERVISOR — the highest true-cell
+ * region of the module — and hands each guest OS a disjoint slice to
+ * use as its ZONE_PTP.  All regular guest data is served from below
+ * the zone, so the No Self-Reference theorem applies *globally*: no
+ * corrupted pointer in any guest's page tables can reach any page
+ * table of the same or another VM.
+ */
+
+#ifndef CTAMEM_CTA_HYPERVISOR_HH
+#define CTAMEM_CTA_HYPERVISOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/module.hh"
+#include "mm/zone.hh"
+
+namespace ctamem::cta {
+
+/** The ZONE_PTP slice assigned to one guest. */
+struct GuestZone
+{
+    int guestId;
+    std::vector<mm::FrameSpan> spans; //!< true-cell frames, top-down
+    std::uint64_t bytes;
+
+    /** Lowest physical address of the slice. */
+    Addr lowestAddr() const;
+};
+
+/** Owns ZONE_HYPERVISOR and parcels it out to guests. */
+class Hypervisor
+{
+  public:
+    /**
+     * Reserve @p zone_bytes of true-cell memory from the top of
+     * @p module for guest page-table slices.
+     * @throws FatalError when the module cannot supply it.
+     */
+    Hypervisor(dram::DramModule &module, std::uint64_t zone_bytes);
+
+    /** Base of ZONE_HYPERVISOR: every guest's data low water mark. */
+    Addr zoneBase() const { return zoneBase_; }
+
+    /** Anti-cell bytes skipped while reserving (capacity cost). */
+    std::uint64_t skippedAntiBytes() const { return skippedAnti_; }
+
+    /** True-cell bytes not yet assigned. */
+    std::uint64_t remainingBytes() const { return remaining_; }
+
+    /**
+     * Assign @p bytes of the zone to a new guest (row-granular).
+     * Slices are carved top-down, so earlier guests sit higher.
+     * @throws FatalError when the zone is exhausted.
+     */
+    GuestZone assignGuestZone(std::uint64_t bytes);
+
+    /** All assignments so far. */
+    const std::vector<GuestZone> &guests() const { return guests_; }
+
+    /**
+     * Cross-VM audit: true iff every assigned slice lies fully above
+     * the zone base, in true-cells, and no two slices overlap.
+     */
+    bool auditIsolation() const;
+
+  private:
+    dram::DramModule &module_;
+    Addr zoneBase_ = 0;
+    std::uint64_t skippedAnti_ = 0;
+    std::uint64_t remaining_ = 0;
+    /** Unassigned true-cell spans, ordered top of memory first. */
+    std::vector<mm::FrameSpan> freeSpans_;
+    std::vector<GuestZone> guests_;
+    int nextGuestId_ = 1;
+};
+
+} // namespace ctamem::cta
+
+#endif // CTAMEM_CTA_HYPERVISOR_HH

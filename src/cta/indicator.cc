@@ -1,0 +1,18 @@
+#include "cta/indicator.hh"
+
+#include "common/log.hh"
+
+namespace ctamem::cta {
+
+PtpIndicator::PtpIndicator(std::uint64_t mem_bytes,
+                           std::uint64_t ptp_bytes)
+{
+    if (!isPowerOfTwo(mem_bytes) || !isPowerOfTwo(ptp_bytes))
+        fatal("PTP indicator requires power-of-two sizes");
+    if (ptp_bytes == 0 || ptp_bytes >= mem_bytes)
+        fatal("ZONE_PTP size must be a proper divisor of memory size");
+    bits_ = log2Floor(mem_bytes / ptp_bytes);
+    shift_ = log2Floor(ptp_bytes);
+}
+
+} // namespace ctamem::cta

@@ -1,0 +1,90 @@
+#include "cta/plan.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "mm/phys_mem.hh"
+
+namespace ctamem::cta {
+
+using mm::FrameSpan;
+using mm::ZoneId;
+using mm::ZoneSpec;
+
+std::vector<FrameSpan>
+subtractSpans(const std::vector<FrameSpan> &from,
+              const std::vector<FrameSpan> &holes)
+{
+    std::vector<FrameSpan> result = from;
+    for (const FrameSpan &hole : holes) {
+        std::vector<FrameSpan> next;
+        for (const FrameSpan &span : result) {
+            const Pfn lo = std::max(span.basePfn, hole.basePfn);
+            const Pfn hi = std::min(span.endPfn(), hole.endPfn());
+            if (lo >= hi) {
+                next.push_back(span); // no overlap
+                continue;
+            }
+            if (span.basePfn < lo)
+                next.push_back(FrameSpan{span.basePfn,
+                                         lo - span.basePfn});
+            if (hi < span.endPfn())
+                next.push_back(FrameSpan{hi, span.endPfn() - hi});
+        }
+        result = std::move(next);
+    }
+    std::erase_if(result,
+                  [](const FrameSpan &span) { return span.frames == 0; });
+    return result;
+}
+
+CtaPlan
+buildCtaPlan(dram::DramModule &module, const CtaConfig &config)
+{
+    CtaPlan plan;
+    plan.ptp = std::make_unique<PtpZone>(module, config);
+    const Addr lwm = plan.ptp->lowWaterMark();
+
+    // Standard zones stop at the low water mark (Rule 2: nothing but
+    // page tables above it — the region above simply is not handed to
+    // the general allocator).
+    plan.physSpecs = mm::standardZoneSpecs(
+        module.geometry().capacity(), lwm);
+
+    if (config.minIndicatorZeros == 0)
+        return plan;
+
+    // Reserve every below-LWM region whose indicator has fewer than
+    // minIndicatorZeros zeros for the kernel / trusted processes.
+    const PtpIndicator &ind = plan.ptp->indicator();
+    std::vector<FrameSpan> rsv;
+    const std::uint64_t regions = 1ULL << ind.bits();
+    const std::uint64_t region_frames = ind.regionBytes() / pageSize;
+    const Pfn lwm_pfn = addrToPfn(lwm);
+    for (std::uint64_t value = 0; value < regions; ++value) {
+        const unsigned zero_bits =
+            ind.bits() - popcount(value);
+        if (zero_bits >= config.minIndicatorZeros)
+            continue;
+        FrameSpan span{value * region_frames, region_frames};
+        // Clip to below the low water mark (the all-ones region and
+        // any region tail above LWM belong to ZONE_PTP or is waste).
+        if (span.basePfn >= lwm_pfn)
+            continue;
+        span.frames = std::min(span.frames, lwm_pfn - span.basePfn);
+        rsv.push_back(span);
+    }
+
+    if (!rsv.empty()) {
+        for (ZoneSpec &spec : plan.physSpecs)
+            spec.spans = subtractSpans(spec.spans, rsv);
+        std::erase_if(plan.physSpecs, [](const ZoneSpec &spec) {
+            return spec.spans.empty();
+        });
+        plan.physSpecs.push_back(ZoneSpec{ZoneId::KernelRsv, rsv});
+    }
+    return plan;
+}
+
+} // namespace ctamem::cta

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Assembly of the whole-machine zone plan under CTA:
+ *
+ *  - ZONE_PTP above the low water mark (built by PtpZone),
+ *  - optionally ZONE_KERNEL_RSV — the regions below the low water
+ *    mark whose PTP indicator has fewer than `minIndicatorZeros`
+ *    zeros, reserved for the kernel and trusted processes (the
+ *    Section 5 restriction that drives the expected number of
+ *    exploitable PTEs to ~1e-5),
+ *  - the standard zones over what remains.
+ */
+
+#ifndef CTAMEM_CTA_PLAN_HH
+#define CTAMEM_CTA_PLAN_HH
+
+#include <memory>
+#include <vector>
+
+#include "cta/config.hh"
+#include "cta/ptp_zone.hh"
+#include "dram/module.hh"
+#include "mm/zone.hh"
+
+namespace ctamem::cta {
+
+/** Everything the kernel needs to boot with CTA enabled. */
+struct CtaPlan
+{
+    /** Zone specs for mm::PhysicalMemory (excludes ZONE_PTP). */
+    std::vector<mm::ZoneSpec> physSpecs;
+
+    /** The page-table zone, managed outside PhysicalMemory. */
+    std::unique_ptr<PtpZone> ptp;
+};
+
+/**
+ * Subtract span list @p holes from span list @p from (page granular).
+ */
+std::vector<mm::FrameSpan>
+subtractSpans(const std::vector<mm::FrameSpan> &from,
+              const std::vector<mm::FrameSpan> &holes);
+
+/** Build the CTA zone plan for @p module. */
+CtaPlan buildCtaPlan(dram::DramModule &module, const CtaConfig &config);
+
+} // namespace ctamem::cta
+
+#endif // CTAMEM_CTA_PLAN_HH

@@ -1,0 +1,218 @@
+#include "cta/ptp_zone.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/log.hh"
+#include "paging/pte.hh"
+
+namespace ctamem::cta {
+
+using mm::FrameSpan;
+
+PtpZone::PtpZone(dram::DramModule &module, const CtaConfig &config)
+    : module_(module),
+      indicator_(module.geometry().capacity(), config.ptpBytes),
+      multiLevel_(config.multiLevelZones)
+{
+    const auto &geom = module.geometry();
+    const std::uint64_t row_bytes = geom.rowBytes();
+    const std::uint64_t capacity = geom.capacity();
+
+    if (config.ptpBytes % row_bytes != 0) {
+        fatal("ZONE_PTP size ", config.ptpBytes,
+              " must be a multiple of the DRAM row size ", row_bytes);
+    }
+    // Never let the zone eat more than half the machine; a layout
+    // that anti-cell-starved that badly is a configuration error.
+    const Addr floor = capacity / 2;
+
+    Addr row = capacity;
+    while (trueBytes_ < config.ptpBytes) {
+        if (row < floor + row_bytes) {
+            fatal("cannot collect ", config.ptpBytes,
+                  " true-cell bytes above the low water mark; "
+                  "collected ", trueBytes_, " with ",
+                  skippedAntiBytes_, " anti-cell bytes skipped");
+        }
+        row -= row_bytes;
+        if (module.cellTypeAt(row) == dram::CellType::True) {
+            const Pfn base = addrToPfn(row);
+            const std::uint64_t frames = row_bytes / pageSize;
+            if (!spans_.empty() &&
+                spans_.back().basePfn == base + frames) {
+                // Extend the previous (higher) span downward.
+                spans_.back().basePfn = base;
+                spans_.back().frames += frames;
+            } else {
+                spans_.push_back(FrameSpan{base, frames});
+            }
+            trueBytes_ += row_bytes;
+        } else {
+            skippedAntiBytes_ += row_bytes;
+        }
+    }
+    lowWaterMark_ = row;
+
+    partitionLevels(config);
+    if (config.screenPageSizeBit && multiLevel_)
+        screenPageSizeBits();
+
+    for (unsigned level = 1; level <= 4; ++level) {
+        for (const FrameSpan &span : levelSpans_[level]) {
+            levelBuddies_[level].emplace_back(span.basePfn,
+                                              span.frames);
+        }
+    }
+}
+
+void
+PtpZone::partitionLevels(const CtaConfig &config)
+{
+    if (!config.multiLevelZones) {
+        levelSpans_[1] = spans_;
+        return;
+    }
+
+    const std::uint64_t total = trueBytes_ / pageSize;
+    // Heuristic reservations: leaf tables dominate (each level-k
+    // table serves 512 level-(k-1) tables), so levels 2..4 get small
+    // slices; higher levels sit at higher physical addresses.
+    std::array<std::uint64_t, 5> want{};
+    want[4] = std::min<std::uint64_t>(256, total / 16);
+    want[3] = std::min<std::uint64_t>(256, total / 16);
+    want[2] = std::min<std::uint64_t>(512, total / 8);
+    want[1] = total - want[4] - want[3] - want[2];
+
+    // spans_ is ordered top-of-memory first; carve in level order
+    // 4, 3, 2, 1 so higher levels land higher.
+    std::size_t span_idx = 0;
+    std::uint64_t offset = 0; // frames consumed from spans_[span_idx]
+    for (unsigned level = 4; level >= 1; --level) {
+        std::uint64_t need = want[level];
+        while (need > 0) {
+            if (span_idx >= spans_.size())
+                ctamem_panic("level partition overran ZONE_PTP");
+            const FrameSpan &span = spans_[span_idx];
+            const std::uint64_t available = span.frames - offset;
+            const std::uint64_t take =
+                std::min<std::uint64_t>(need, available);
+            // Spans are stored top-first; frames are carved from the
+            // top of each span downward.
+            const Pfn base = span.basePfn + available - take;
+            levelSpans_[level].push_back(FrameSpan{base, take});
+            need -= take;
+            offset += take;
+            if (offset == span.frames) {
+                ++span_idx;
+                offset = 0;
+            }
+        }
+        if (level == 1)
+            break;
+    }
+}
+
+void
+PtpZone::screenPageSizeBits()
+{
+    // Only levels whose entries can carry a PS bit need screening:
+    // PD (level 2) and PDPT (level 3) entries map 2 MiB / 1 GiB data
+    // pages when bit 7 is set.  PML4 entries have no PS bit, but we
+    // screen them too for uniformity (the cost is negligible).
+    const dram::FaultModel &faults = module_.faults();
+    for (unsigned level = 2; level <= 4; ++level) {
+        std::vector<FrameSpan> clean;
+        for (const FrameSpan &span : levelSpans_[level]) {
+            for (Pfn pfn = span.basePfn; pfn < span.endPfn(); ++pfn) {
+                bool exploitable = false;
+                for (std::uint64_t slot = 0;
+                     slot < paging::ptesPerPage && !exploitable;
+                     ++slot) {
+                    const Addr addr = pfnToAddr(pfn) + slot * 8;
+                    if (faults.vulnerable(addr, paging::Pte::pageSizeBit) &&
+                        faults.flipDirection(
+                            addr, paging::Pte::pageSizeBit,
+                            dram::CellType::True) ==
+                            dram::FlipDirection::OneToZero) {
+                        exploitable = true;
+                    }
+                }
+                if (exploitable) {
+                    ++screenedFrames_;
+                } else if (!clean.empty() &&
+                           clean.back().endPfn() == pfn) {
+                    clean.back().frames += 1;
+                } else {
+                    clean.push_back(FrameSpan{pfn, 1});
+                }
+            }
+        }
+        levelSpans_[level] = std::move(clean);
+    }
+}
+
+std::optional<Pfn>
+PtpZone::allocate(unsigned level)
+{
+    if (level < 1 || level > 4)
+        fatal("PtpZone::allocate: level must be 1..4, got ", level);
+    const unsigned partition = multiLevel_ ? level : 1;
+    stats_.counter("allocsL" + std::to_string(partition)).increment();
+    for (mm::BuddyAllocator &buddy : levelBuddies_[partition]) {
+        if (auto pfn = buddy.allocate(0)) {
+            static const std::array<std::uint8_t, pageSize> zeros{};
+            module_.write(pfnToAddr(*pfn), zeros.data(), pageSize);
+            return pfn;
+        }
+    }
+    stats_.counter("failuresL" + std::to_string(partition)).increment();
+    return std::nullopt;
+}
+
+void
+PtpZone::free(Pfn pfn)
+{
+    stats_.counter("frees").increment();
+    for (unsigned level = 1; level <= 4; ++level) {
+        for (mm::BuddyAllocator &buddy : levelBuddies_[level]) {
+            if (buddy.contains(pfn)) {
+                buddy.free(pfn, 0);
+                return;
+            }
+        }
+    }
+    ctamem_panic("PtpZone::free: pfn ", pfn, " not in ZONE_PTP");
+}
+
+bool
+PtpZone::contains(Pfn pfn) const
+{
+    for (unsigned level = 1; level <= 4; ++level)
+        for (const FrameSpan &span : levelSpans_[level])
+            if (span.contains(pfn))
+                return true;
+    return false;
+}
+
+std::uint64_t
+PtpZone::freeFrames() const
+{
+    std::uint64_t total = 0;
+    for (unsigned level = 1; level <= 4; ++level)
+        for (const mm::BuddyAllocator &buddy : levelBuddies_[level])
+            total += buddy.freeFrames();
+    return total;
+}
+
+std::uint64_t
+PtpZone::totalFrames() const
+{
+    std::uint64_t total = 0;
+    for (unsigned level = 1; level <= 4; ++level)
+        for (const mm::BuddyAllocator &buddy : levelBuddies_[level])
+            total += buddy.totalFrames();
+    return total;
+}
+
+} // namespace ctamem::cta

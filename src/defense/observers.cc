@@ -1,0 +1,96 @@
+#include "defense/observers.hh"
+
+#include "common/combinatorics.hh"
+
+namespace ctamem::defense {
+
+const char *
+defenseName(DefenseKind kind)
+{
+    switch (kind) {
+      case DefenseKind::None: return "none";
+      case DefenseKind::Cta: return "CTA";
+      case DefenseKind::CtaRestricted: return "CTA+restriction";
+      case DefenseKind::Catt: return "CATT";
+      case DefenseKind::Zebram: return "ZebRAM-lite";
+      case DefenseKind::RefreshBoost: return "refresh-boost";
+      case DefenseKind::Para: return "PARA";
+      case DefenseKind::Anvil: return "ANVIL";
+    }
+    return "?";
+}
+
+bool
+ParaObserver::onHammer(std::uint64_t, std::uint64_t,
+                       std::uint64_t activations,
+                       const std::vector<std::uint64_t> &)
+{
+    // Victims survive one pass only if no activation triggered the
+    // probabilistic neighbour refresh.
+    const double p_refreshed =
+        atLeastOne(probability_, static_cast<double>(activations));
+    if (rng_.chance(p_refreshed)) {
+        ++mitigations_;
+        return true;
+    }
+    return false;
+}
+
+bool
+RefreshBoostObserver::onHammer(std::uint64_t, std::uint64_t,
+                               std::uint64_t,
+                               const std::vector<std::uint64_t> &)
+{
+    // One pass in `factor_` still accumulates enough disturbance
+    // within the shortened refresh window.
+    if (rng_.below(factor_) != 0) {
+        ++mitigations_;
+        return true;
+    }
+    return false;
+}
+
+bool
+AnvilObserver::observe(std::uint64_t bank, std::uint64_t row,
+                       std::uint64_t activations)
+{
+    ++passCount_;
+    if (passCount_ % windowPasses_ == 0)
+        decayWindow();
+    std::uint64_t &count = counts_[{bank, row}];
+    count += activations;
+    return count >= threshold_;
+}
+
+void
+AnvilObserver::decayWindow()
+{
+    counts_.clear();
+}
+
+bool
+AnvilObserver::onHammer(std::uint64_t bank, std::uint64_t device_row,
+                        std::uint64_t activations,
+                        const std::vector<std::uint64_t> &)
+{
+    if (observe(bank, device_row, activations)) {
+        ++detections_;
+        ++mitigations_; // targeted neighbour refresh
+        return true;
+    }
+    return false;
+}
+
+bool
+AnvilObserver::noteBenignActivity(std::uint64_t bank,
+                                  std::uint64_t row,
+                                  std::uint64_t activations)
+{
+    if (observe(bank, row, activations)) {
+        ++falsePositives_;
+        return true;
+    }
+    return false;
+}
+
+} // namespace ctamem::defense

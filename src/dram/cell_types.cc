@@ -1,0 +1,11 @@
+#include "dram/cell_types.hh"
+
+namespace ctamem::dram {
+
+const char *
+cellTypeName(CellType type)
+{
+    return type == CellType::True ? "true-cell" : "anti-cell";
+}
+
+} // namespace ctamem::dram

@@ -1,0 +1,68 @@
+#include "dram/fault_model.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace ctamem::dram {
+
+namespace {
+
+// Salts keep the independent per-cell properties decorrelated.
+constexpr std::uint64_t saltVulnerable = 0x76756c6eULL;  // "vuln"
+constexpr std::uint64_t saltDirection = 0x64697265ULL;   // "dire"
+constexpr std::uint64_t saltThreshold = 0x74687265ULL;   // "thre"
+constexpr std::uint64_t saltRetention = 0x72657465ULL;   // "rete"
+
+/** Retention distribution at 20 C: 128 ms floor + Exp(mean 2 s). */
+constexpr double retentionFloorSec = 0.128;
+constexpr double retentionMeanSec = 2.0;
+
+} // namespace
+
+bool
+FaultModel::vulnerable(Addr addr, unsigned bit) const
+{
+    return hash01(seed_, saltVulnerable, cellIndex(addr, bit)) <
+           stats_.pf;
+}
+
+FlipDirection
+FaultModel::flipDirection(Addr addr, unsigned bit, CellType type) const
+{
+    const double u =
+        hash01(seed_, saltDirection, cellIndex(addr, bit));
+    const bool dominant = u < stats_.p10True;
+    if (type == CellType::True) {
+        // Dominant: leak from the charged '1' state.
+        return dominant ? FlipDirection::OneToZero :
+                          FlipDirection::ZeroToOne;
+    }
+    // Anti-cells leak from the charged '0' state.
+    return dominant ? FlipDirection::ZeroToOne :
+                      FlipDirection::OneToZero;
+}
+
+double
+FaultModel::tripThreshold(Addr addr, unsigned bit) const
+{
+    return hash01(seed_, saltThreshold, cellIndex(addr, bit));
+}
+
+SimTime
+FaultModel::retentionTime(Addr addr, unsigned bit, double celsius) const
+{
+    const double u =
+        hash01(seed_, saltRetention, cellIndex(addr, bit));
+    // Inverse-CDF sample of the exponential tail; clamp u away from 1
+    // so log1p stays finite.
+    const double clamped = u > 0.999999999999 ? 0.999999999999 : u;
+    const double base_sec =
+        retentionFloorSec - retentionMeanSec * std::log1p(-clamped);
+    // Retention roughly doubles for every 10 C drop below 20 C.
+    const double scale = std::exp2((20.0 - celsius) / 10.0);
+    return static_cast<SimTime>(base_sec * scale *
+                                static_cast<double>(seconds));
+}
+
+} // namespace ctamem::dram

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-cell fault properties of a simulated DRAM module.
+ *
+ * Every property is a pure, stable function of (module seed, cell
+ * index): whether the cell is RowHammer-vulnerable, which direction a
+ * vulnerable cell flips, the minimum hammer intensity that trips it,
+ * and the cell's data-retention time.  Stability matters: Drammer-
+ * style "memory templating" (van der Veen et al.) only works because a
+ * real module's flippable bits are a fixed physical property, and the
+ * attacks we reproduce rely on exactly that.
+ */
+
+#ifndef CTAMEM_DRAM_FAULT_MODEL_HH
+#define CTAMEM_DRAM_FAULT_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/cell_types.hh"
+#include "dram/error_stats.hh"
+
+namespace ctamem::dram {
+
+/** Direction a vulnerable cell flips when disturbed. */
+enum class FlipDirection : std::uint8_t { OneToZero, ZeroToOne };
+
+/** Per-cell stable fault properties. */
+class FaultModel
+{
+  public:
+    FaultModel(std::uint64_t seed, const ErrorStats &stats)
+        : seed_(seed), stats_(stats)
+    {}
+
+    const ErrorStats &stats() const { return stats_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** True iff the cell at (@p addr, @p bit) is RowHammer-flippable. */
+    bool vulnerable(Addr addr, unsigned bit) const;
+
+    /**
+     * Flip direction of a *vulnerable* cell that sits in a row of
+     * cell type @p type.  In true-cell rows the dominant direction is
+     * '1'->'0' (probability p10True); the rare opposite direction
+     * models circuit effects such as voltage coupling.  Anti-cell rows
+     * mirror the distribution.
+     */
+    FlipDirection flipDirection(Addr addr, unsigned bit,
+                                CellType type) const;
+
+    /**
+     * Minimum hammer intensity (in [0,1]) that trips this vulnerable
+     * cell.  A double-sided hammer applies intensity 1.0 and trips
+     * every vulnerable cell; a single-sided hammer applies a smaller
+     * intensity and trips only the most sensitive subset.
+     */
+    double tripThreshold(Addr addr, unsigned bit) const;
+
+    /**
+     * Retention time of the cell at ambient temperature @p celsius.
+     * Sampled from a shifted-exponential at 20 C and scaled by the
+     * standard retention-doubles-per-10C-drop rule, so cold-boot
+     * scenarios (Section 8) see realistic remanence.
+     */
+    SimTime retentionTime(Addr addr, unsigned bit,
+                          double celsius = 20.0) const;
+
+  private:
+    static std::uint64_t
+    cellIndex(Addr addr, unsigned bit)
+    {
+        return addr * 8 + bit;
+    }
+
+    std::uint64_t seed_;
+    ErrorStats stats_;
+};
+
+} // namespace ctamem::dram
+
+#endif // CTAMEM_DRAM_FAULT_MODEL_HH

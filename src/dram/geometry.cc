@@ -1,0 +1,65 @@
+#include "dram/geometry.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace ctamem::dram {
+
+Geometry::Geometry(std::uint64_t capacity, std::uint64_t row_bytes,
+                   std::uint64_t banks, AddressScheme scheme)
+    : capacity_(capacity), rowBytes_(row_bytes), banks_(banks),
+      scheme_(scheme)
+{
+    if (!isPowerOfTwo(capacity))
+        fatal("DRAM capacity must be a power of two, got ", capacity);
+    if (!isPowerOfTwo(row_bytes) || row_bytes < pageSize)
+        fatal("DRAM row size must be a power of two >= 4 KiB, got ",
+              row_bytes);
+    if (!isPowerOfTwo(banks) || banks == 0)
+        fatal("DRAM bank count must be a nonzero power of two, got ",
+              banks);
+    if (capacity < row_bytes * banks)
+        fatal("DRAM capacity ", capacity, " too small for ", banks,
+              " banks of ", row_bytes, "-byte rows");
+    totalRows_ = capacity_ / rowBytes_;
+    rowsPerBank_ = totalRows_ / banks_;
+}
+
+Location
+Geometry::locate(Addr addr) const
+{
+    if (!contains(addr))
+        ctamem_panic("address ", addr, " outside DRAM capacity ",
+                     capacity_);
+    const std::uint64_t global_row = addr / rowBytes_;
+    const std::uint64_t column = addr % rowBytes_;
+    if (scheme_ == AddressScheme::BankBlocked) {
+        return Location{global_row / rowsPerBank_,
+                        global_row % rowsPerBank_, column};
+    }
+    return Location{global_row % banks_, global_row / banks_, column};
+}
+
+Addr
+Geometry::address(const Location &loc) const
+{
+    if (loc.bank >= banks_ || loc.row >= rowsPerBank_ ||
+        loc.column >= rowBytes_) {
+        ctamem_panic("location out of range: bank=", loc.bank,
+                     " row=", loc.row, " column=", loc.column);
+    }
+    std::uint64_t global_row;
+    if (scheme_ == AddressScheme::BankBlocked)
+        global_row = loc.bank * rowsPerBank_ + loc.row;
+    else
+        global_row = loc.row * banks_ + loc.bank;
+    return global_row * rowBytes_ + loc.column;
+}
+
+Addr
+Geometry::rowBase(Addr addr) const
+{
+    return (addr / rowBytes_) * rowBytes_;
+}
+
+} // namespace ctamem::dram

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * DRAM geometry and the physical-address-to-device mapping.
+ *
+ * The unit that matters for RowHammer is the *physical row within a
+ * bank*: an aggressor row disturbs the rows directly above and below
+ * it in the same bank, and cell types are assigned per in-bank row.
+ */
+
+#ifndef CTAMEM_DRAM_GEOMETRY_HH
+#define CTAMEM_DRAM_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace ctamem::dram {
+
+/** Device coordinates of one byte of physical memory. */
+struct Location
+{
+    std::uint64_t bank;
+    std::uint64_t row;    //!< row index within the bank
+    std::uint64_t column; //!< byte offset within the row
+
+    bool
+    operator==(const Location &other) const = default;
+};
+
+/** How consecutive physical addresses are spread across banks. */
+enum class AddressScheme : std::uint8_t
+{
+    /**
+     * Each bank owns one contiguous slab of the address space; rows
+     * within a bank are contiguous.  This matches the paper's model,
+     * where a 128 KiB-aligned region is one row and adjacent regions
+     * are adjacent rows.
+     */
+    BankBlocked,
+    /** Rows round-robin across banks (row interleaving). */
+    RowInterleaved,
+};
+
+/**
+ * Geometry of one simulated DRAM module and the bidirectional mapping
+ * between flat physical addresses and (bank, row, column).
+ */
+class Geometry
+{
+  public:
+    /**
+     * @param capacity   total module bytes (power of two)
+     * @param row_bytes  bytes per row (paper: 128 KiB)
+     * @param banks      number of banks (power of two)
+     * @param scheme     address interleaving scheme
+     */
+    Geometry(std::uint64_t capacity, std::uint64_t row_bytes,
+             std::uint64_t banks = 8,
+             AddressScheme scheme = AddressScheme::BankBlocked);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t rowBytes() const { return rowBytes_; }
+    std::uint64_t banks() const { return banks_; }
+    std::uint64_t totalRows() const { return totalRows_; }
+    std::uint64_t rowsPerBank() const { return rowsPerBank_; }
+    AddressScheme scheme() const { return scheme_; }
+
+    /** Pages (4 KiB frames) per DRAM row. */
+    std::uint64_t
+    pagesPerRow() const
+    {
+        return rowBytes_ / pageSize;
+    }
+
+    /** Map a physical byte address to device coordinates. */
+    Location locate(Addr addr) const;
+
+    /** Map device coordinates back to the physical byte address. */
+    Addr address(const Location &loc) const;
+
+    /** Base physical address of the row containing @p addr. */
+    Addr rowBase(Addr addr) const;
+
+    /**
+     * Physical address range check.  All ctamem physical addresses
+     * must satisfy this before touching the module.
+     */
+    bool
+    contains(Addr addr) const
+    {
+        return addr < capacity_;
+    }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t rowBytes_;
+    std::uint64_t banks_;
+    std::uint64_t totalRows_;
+    std::uint64_t rowsPerBank_;
+    AddressScheme scheme_;
+};
+
+} // namespace ctamem::dram
+
+#endif // CTAMEM_DRAM_GEOMETRY_HH

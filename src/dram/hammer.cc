@@ -1,0 +1,160 @@
+#include "dram/hammer.hh"
+
+#include "common/log.hh"
+
+namespace ctamem::dram {
+
+namespace {
+
+/** Flat cache key for (bank, device row). */
+std::uint64_t
+rowKey(std::uint64_t bank, std::uint64_t device_row)
+{
+    return (bank << 40) | device_row;
+}
+
+} // namespace
+
+const std::vector<VulnerableBit> &
+RowHammerEngine::vulnerableBits(std::uint64_t bank,
+                                std::uint64_t device_row)
+{
+    const std::uint64_t key = rowKey(bank, device_row);
+    auto it = vulnCache_.find(key);
+    if (it != vulnCache_.end())
+        return it->second;
+
+    const Geometry &geom = module_.geometry();
+    // The fault model keys on the *logical* address whose data the
+    // device row holds; follow the remap table back.
+    const std::uint64_t logical = module_.logicalRow(bank, device_row);
+    std::vector<VulnerableBit> found;
+    if (logical != ~0ULL) {
+        const Addr base =
+            geom.address(Location{bank, logical, 0});
+        const FaultModel &faults = module_.faults();
+        for (std::uint64_t col = 0; col < geom.rowBytes(); ++col) {
+            for (unsigned bit = 0; bit < 8; ++bit) {
+                if (faults.vulnerable(base + col, bit)) {
+                    found.push_back(VulnerableBit{
+                        col, bit,
+                        faults.tripThreshold(base + col, bit)});
+                }
+            }
+        }
+    }
+    return vulnCache_.emplace(key, std::move(found)).first->second;
+}
+
+void
+RowHammerEngine::disturbDeviceRow(std::uint64_t bank,
+                                  std::uint64_t device_row,
+                                  double intensity,
+                                  HammerResult &result)
+{
+    const std::uint64_t logical = module_.logicalRow(bank, device_row);
+    if (logical == ~0ULL)
+        return; // vacated by re-mapping: no logical data to corrupt
+    const Geometry &geom = module_.geometry();
+    const Addr base = geom.address(Location{bank, logical, 0});
+    const CellType type = module_.cellMap().rowType(device_row);
+    const FaultModel &faults = module_.faults();
+
+    for (const VulnerableBit &cell : vulnerableBits(bank, device_row)) {
+        if (cell.threshold > intensity)
+            continue;
+        const Addr addr = base + cell.column;
+        const FlipDirection dir =
+            faults.flipDirection(addr, cell.bit, type);
+        const bool stored = module_.store().readBit(addr, cell.bit);
+        if (dir == FlipDirection::OneToZero && stored) {
+            module_.store().writeBit(addr, cell.bit, false);
+            ++result.flips10;
+            result.events.push_back(FlipEvent{addr, cell.bit, dir});
+        } else if (dir == FlipDirection::ZeroToOne && !stored) {
+            module_.store().writeBit(addr, cell.bit, true);
+            ++result.flips01;
+            result.events.push_back(FlipEvent{addr, cell.bit, dir});
+        }
+    }
+}
+
+HammerResult
+RowHammerEngine::hammerRow(std::uint64_t bank, std::uint64_t row)
+{
+    const Geometry &geom = module_.geometry();
+    if (bank >= geom.banks() || row >= geom.rowsPerBank())
+        fatal("hammerRow: row out of range");
+
+    HammerResult result;
+    stats_.counter("passes").increment();
+
+    const std::uint64_t aggressor = module_.deviceRow(bank, row);
+    std::vector<std::uint64_t> victims;
+    if (aggressor > 0)
+        victims.push_back(aggressor - 1);
+    if (aggressor + 1 < geom.rowsPerBank())
+        victims.push_back(aggressor + 1);
+
+    if (observer_ &&
+        observer_->onHammer(bank, aggressor, activationsPerPass,
+                            victims)) {
+        result.suppressed = true;
+        stats_.counter("suppressedPasses").increment();
+        return result;
+    }
+
+    for (std::uint64_t victim : victims)
+        disturbDeviceRow(bank, victim, singleSidedIntensity, result);
+
+    stats_.counter("flips10").increment(result.flips10);
+    stats_.counter("flips01").increment(result.flips01);
+    return result;
+}
+
+HammerResult
+RowHammerEngine::hammerDoubleSided(std::uint64_t bank,
+                                   std::uint64_t victim_row)
+{
+    const Geometry &geom = module_.geometry();
+    if (bank >= geom.banks() || victim_row >= geom.rowsPerBank())
+        fatal("hammerDoubleSided: row out of range");
+
+    HammerResult result;
+    stats_.counter("passes").increment();
+
+    const std::uint64_t victim = module_.deviceRow(bank, victim_row);
+    if (victim == 0 || victim + 1 >= geom.rowsPerBank()) {
+        // No sandwich possible at the bank edge; fall back to
+        // single-sided behaviour on the one existing neighbour.
+        return hammerRow(bank, victim_row);
+    }
+
+    const std::vector<std::uint64_t> victims{victim - 1, victim,
+                                             victim + 1};
+    bool suppressed = false;
+    if (observer_) {
+        suppressed |= observer_->onHammer(bank, victim - 1,
+                                          activationsPerPass, victims);
+        suppressed |= observer_->onHammer(bank, victim + 1,
+                                          activationsPerPass, victims);
+    }
+    if (suppressed) {
+        result.suppressed = true;
+        stats_.counter("suppressedPasses").increment();
+        return result;
+    }
+
+    disturbDeviceRow(bank, victim, doubleSidedIntensity, result);
+    // The aggressors' outer neighbours see single-sided disturbance.
+    if (victim >= 2)
+        disturbDeviceRow(bank, victim - 2, singleSidedIntensity, result);
+    if (victim + 2 < geom.rowsPerBank())
+        disturbDeviceRow(bank, victim + 2, singleSidedIntensity, result);
+
+    stats_.counter("flips10").increment(result.flips10);
+    stats_.counter("flips01").increment(result.flips01);
+    return result;
+}
+
+} // namespace ctamem::dram

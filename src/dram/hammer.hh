@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The RowHammer disturbance engine.
+ *
+ * Repeated activation of an aggressor row accelerates charge leakage
+ * in its device-adjacent victim rows.  The engine applies the module's
+ * stable per-cell fault model: a vulnerable cell flips when (a) the
+ * hammer intensity reaches the cell's trip threshold, (b) the cell
+ * currently stores the value its flip direction consumes, and (c) no
+ * mitigation suppressed the disturbance.
+ *
+ * Mitigations (PARA, ANVIL, refresh boosting...) observe activations
+ * through the DisturbanceObserver interface, implemented in
+ * src/defense/ — the DRAM layer stays independent of defense policy.
+ */
+
+#ifndef CTAMEM_DRAM_HAMMER_HH
+#define CTAMEM_DRAM_HAMMER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/module.hh"
+
+namespace ctamem::dram {
+
+/** One bit flip produced by a hammer pass. */
+struct FlipEvent
+{
+    Addr addr;          //!< logical physical address of the byte
+    unsigned bit;       //!< bit index within the byte
+    FlipDirection dir;  //!< direction the value moved
+};
+
+/** Outcome of one hammer pass. */
+struct HammerResult
+{
+    std::uint64_t flips10 = 0; //!< '1'->'0' flips applied
+    std::uint64_t flips01 = 0; //!< '0'->'1' flips applied
+    std::vector<FlipEvent> events;
+    bool suppressed = false;   //!< a mitigation refreshed the victims
+
+    std::uint64_t total() const { return flips10 + flips01; }
+};
+
+/**
+ * Hook for RowHammer mitigations.  Called once per hammer pass with
+ * the aggressor's device coordinates and the candidate victim rows.
+ */
+class DisturbanceObserver
+{
+  public:
+    virtual ~DisturbanceObserver() = default;
+
+    /**
+     * Observe a burst of activations on (bank, device row).
+     * @return true when the mitigation neutralized the disturbance
+     *         (e.g. refreshed the victims) for this pass.
+     */
+    virtual bool onHammer(std::uint64_t bank, std::uint64_t device_row,
+                          std::uint64_t activations,
+                          const std::vector<std::uint64_t> &victims) = 0;
+};
+
+/** A cached vulnerable cell within one device row. */
+struct VulnerableBit
+{
+    std::uint64_t column; //!< byte offset within the row
+    unsigned bit;
+    double threshold;     //!< minimum intensity that trips it
+};
+
+/** Applies RowHammer disturbance to a DramModule. */
+class RowHammerEngine
+{
+  public:
+    /** Effective intensity of a single-sided hammer pass. */
+    static constexpr double singleSidedIntensity = 0.2;
+    /** Effective intensity of a double-sided hammer pass. */
+    static constexpr double doubleSidedIntensity = 1.0;
+    /** Activations per pass (one refresh window of tight reads). */
+    static constexpr std::uint64_t activationsPerPass = 1'300'000;
+
+    explicit RowHammerEngine(DramModule &module,
+                             DisturbanceObserver *observer = nullptr)
+        : module_(module), observer_(observer)
+    {}
+
+    void setObserver(DisturbanceObserver *observer)
+    {
+        observer_ = observer;
+    }
+
+    /**
+     * Hammer logical row @p row of @p bank for one refresh window.
+     * Disturbs the device-adjacent rows at single-sided intensity.
+     */
+    HammerResult hammerRow(std::uint64_t bank, std::uint64_t row);
+
+    /**
+     * Double-sided hammer: activate the logical rows directly above
+     * and below @p victim_row alternately; the sandwiched victim sees
+     * full intensity, the outer neighbours single-sided intensity.
+     */
+    HammerResult hammerDoubleSided(std::uint64_t bank,
+                                   std::uint64_t victim_row);
+
+    /**
+     * Vulnerable cells of a device row (lazily scanned, cached).
+     * Exposed so attacks can reason about templating cost.
+     */
+    const std::vector<VulnerableBit> &
+    vulnerableBits(std::uint64_t bank, std::uint64_t device_row);
+
+    /** Counters: passes, flips10, flips01, suppressedPasses. */
+    StatGroup &stats() { return stats_; }
+
+  private:
+    /** Apply disturbance of @p intensity to one device row. */
+    void disturbDeviceRow(std::uint64_t bank, std::uint64_t device_row,
+                          double intensity, HammerResult &result);
+
+    DramModule &module_;
+    DisturbanceObserver *observer_;
+    std::unordered_map<std::uint64_t, std::vector<VulnerableBit>>
+        vulnCache_;
+    StatGroup stats_;
+};
+
+} // namespace ctamem::dram
+
+#endif // CTAMEM_DRAM_HAMMER_HH

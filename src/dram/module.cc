@@ -1,0 +1,157 @@
+#include "dram/module.hh"
+
+#include "common/log.hh"
+
+namespace ctamem::dram {
+
+DramModule::DramModule(const DramConfig &config)
+    : config_(config),
+      geometry_(config.capacity, config.rowBytes, config.banks,
+                config.scheme),
+      faults_(config.seed, config.errors)
+{
+}
+
+void
+DramModule::read(Addr addr, void *out, std::size_t len) const
+{
+    store_.read(addr, out, len);
+}
+
+void
+DramModule::write(Addr addr, const void *in, std::size_t len)
+{
+    store_.write(addr, in, len);
+}
+
+std::uint8_t
+DramModule::readByte(Addr addr) const
+{
+    return store_.readByte(addr);
+}
+
+void
+DramModule::writeByte(Addr addr, std::uint8_t value)
+{
+    store_.writeByte(addr, value);
+}
+
+std::uint64_t
+DramModule::readU64(Addr addr) const
+{
+    return store_.readU64(addr);
+}
+
+void
+DramModule::writeU64(Addr addr, std::uint64_t value)
+{
+    store_.writeU64(addr, value);
+}
+
+std::uint64_t
+DramModule::deviceRow(std::uint64_t bank, std::uint64_t row) const
+{
+    auto it = remapByLogical_.find({bank, row});
+    return it == remapByLogical_.end() ? row : it->second;
+}
+
+std::uint64_t
+DramModule::logicalRow(std::uint64_t bank,
+                       std::uint64_t device_row) const
+{
+    // Swap semantics make the relation symmetric.
+    auto it = remapByLogical_.find({bank, device_row});
+    return it == remapByLogical_.end() ? device_row : it->second;
+}
+
+CellType
+DramModule::rowCellType(std::uint64_t bank, std::uint64_t row) const
+{
+    return config_.cellMap.rowType(deviceRow(bank, row));
+}
+
+CellType
+DramModule::cellTypeAt(Addr addr) const
+{
+    const Location loc = geometry_.locate(addr);
+    return rowCellType(loc.bank, loc.row);
+}
+
+void
+DramModule::remapRow(std::uint64_t bank, std::uint64_t row,
+                     std::uint64_t spare_row)
+{
+    if (bank >= geometry_.banks() || row >= geometry_.rowsPerBank() ||
+        spare_row >= geometry_.rowsPerBank()) {
+        fatal("remapRow: coordinates out of range");
+    }
+    const CellType original = config_.cellMap.rowType(row);
+    const CellType spare = config_.cellMap.rowType(spare_row);
+    if (original != spare) {
+        fatal("remapRow: spare row ", spare_row, " is ",
+              cellTypeName(spare), " but logical row ", row, " is ",
+              cellTypeName(original),
+              "; sense amplifiers require like-for-like spares");
+    }
+    if (remapByLogical_.contains({bank, row}) ||
+        remapByLogical_.contains({bank, spare_row})) {
+        fatal("remapRow: row already re-mapped");
+    }
+    remapByLogical_[{bank, row}] = spare_row;
+    remapByLogical_[{bank, spare_row}] = row;
+    stats_.counter("remaps").increment();
+}
+
+void
+DramModule::advance(SimTime dt, double celsius)
+{
+    if (refreshEnabled_)
+        return;
+    unrefreshedTime_ += dt;
+    decayTouchedFrames(unrefreshedTime_, celsius);
+}
+
+void
+DramModule::powerOff(SimTime duration, double celsius)
+{
+    const bool was_enabled = refreshEnabled_;
+    refreshEnabled_ = false;
+    advance(duration, celsius);
+    refreshEnabled_ = was_enabled;
+    if (refreshEnabled_)
+        unrefreshedTime_ = 0;
+}
+
+void
+DramModule::decayTouchedFrames(SimTime unrefreshed, double celsius)
+{
+    Counter &decayed = stats_.counter("decayedBits");
+    for (Pfn pfn : store_.touchedFrames()) {
+        const Addr base = pfnToAddr(pfn);
+        const CellType type = cellTypeAt(base);
+        const std::uint8_t discharged_byte =
+            dischargedBit(type) ? 0xff : 0x00;
+        for (std::uint64_t off = 0; off < pageSize; ++off) {
+            const Addr addr = base + off;
+            std::uint8_t byte = store_.readByte(addr);
+            if (byte == discharged_byte)
+                continue; // nothing left to leak
+            for (unsigned bit = 0; bit < 8; ++bit) {
+                const bool value = (byte >> bit) & 1;
+                if (value == dischargedBit(type))
+                    continue;
+                if (faults_.retentionTime(addr, bit, celsius) <
+                    unrefreshed) {
+                    byte = static_cast<std::uint8_t>(
+                        dischargedBit(type) ?
+                            byte | (1u << bit) :
+                            byte & ~(1u << bit));
+                    decayed.increment();
+                }
+            }
+            store_.writeByte(addr, byte);
+        }
+    }
+}
+
+} // namespace ctamem::dram

@@ -1,0 +1,122 @@
+#include "dram/sparse_store.hh"
+
+#include <algorithm>
+
+namespace ctamem::dram {
+
+const std::uint8_t *
+SparseStore::peek(Pfn pfn) const
+{
+    auto it = frames_.find(pfn);
+    return it == frames_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t *
+SparseStore::touch(Pfn pfn)
+{
+    auto it = frames_.find(pfn);
+    if (it == frames_.end()) {
+        auto frame = std::make_unique<std::uint8_t[]>(pageSize);
+        std::memset(frame.get(), fill_, pageSize);
+        it = frames_.emplace(pfn, std::move(frame)).first;
+    }
+    return it->second.get();
+}
+
+void
+SparseStore::read(Addr addr, void *out, std::size_t len) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        const Pfn pfn = addrToPfn(addr);
+        const std::size_t offset = addr & pageMask;
+        const std::size_t chunk = std::min<std::size_t>(
+            len, pageSize - offset);
+        if (const std::uint8_t *frame = peek(pfn))
+            std::memcpy(dst, frame + offset, chunk);
+        else
+            std::memset(dst, fill_, chunk);
+        dst += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+SparseStore::write(Addr addr, const void *in, std::size_t len)
+{
+    auto *src = static_cast<const std::uint8_t *>(in);
+    while (len > 0) {
+        const Pfn pfn = addrToPfn(addr);
+        const std::size_t offset = addr & pageMask;
+        const std::size_t chunk = std::min<std::size_t>(
+            len, pageSize - offset);
+        std::memcpy(touch(pfn) + offset, src, chunk);
+        src += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+std::uint8_t
+SparseStore::readByte(Addr addr) const
+{
+    if (const std::uint8_t *frame = peek(addrToPfn(addr)))
+        return frame[addr & pageMask];
+    return fill_;
+}
+
+void
+SparseStore::writeByte(Addr addr, std::uint8_t value)
+{
+    touch(addrToPfn(addr))[addr & pageMask] = value;
+}
+
+std::uint64_t
+SparseStore::readU64(Addr addr)const
+{
+    std::uint64_t value = 0;
+    read(addr, &value, sizeof(value));
+    return value;
+}
+
+void
+SparseStore::writeU64(Addr addr, std::uint64_t value)
+{
+    write(addr, &value, sizeof(value));
+}
+
+bool
+SparseStore::readBit(Addr addr, unsigned bit) const
+{
+    return (readByte(addr) >> bit) & 1;
+}
+
+void
+SparseStore::writeBit(Addr addr, unsigned bit, bool value)
+{
+    std::uint8_t byte = readByte(addr);
+    if (value)
+        byte |= static_cast<std::uint8_t>(1u << bit);
+    else
+        byte &= static_cast<std::uint8_t>(~(1u << bit));
+    writeByte(addr, byte);
+}
+
+bool
+SparseStore::touched(Addr addr) const
+{
+    return frames_.contains(addrToPfn(addr));
+}
+
+std::vector<Pfn>
+SparseStore::touchedFrames() const
+{
+    std::vector<Pfn> pfns;
+    pfns.reserve(frames_.size());
+    for (const auto &[pfn, frame] : frames_)
+        pfns.push_back(pfn);
+    return pfns;
+}
+
+} // namespace ctamem::dram

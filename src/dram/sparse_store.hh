@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sparse byte-addressable backing store for simulated physical memory.
+ *
+ * We simulate machines with 8-128 GiB of DRAM; only the frames a test
+ * or attack actually touches get materialized (4 KiB at a time).
+ * Untouched memory reads as the frame fill pattern.
+ */
+
+#ifndef CTAMEM_DRAM_SPARSE_STORE_HH
+#define CTAMEM_DRAM_SPARSE_STORE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ctamem::dram {
+
+/** Sparse, page-granular storage of simulated memory contents. */
+class SparseStore
+{
+  public:
+    /** @param fill byte value newly materialized frames start with */
+    explicit SparseStore(std::uint8_t fill = 0) : fill_(fill) {}
+
+    /** Read @p len bytes at @p addr into @p out. */
+    void read(Addr addr, void *out, std::size_t len) const;
+
+    /** Write @p len bytes from @p in at @p addr. */
+    void write(Addr addr, const void *in, std::size_t len);
+
+    /** Read one byte. */
+    std::uint8_t readByte(Addr addr) const;
+
+    /** Write one byte. */
+    void writeByte(Addr addr, std::uint8_t value);
+
+    /** Read a little-endian 64-bit word. */
+    std::uint64_t readU64(Addr addr) const;
+
+    /** Write a little-endian 64-bit word. */
+    void writeU64(Addr addr, std::uint64_t value);
+
+    /** Read one bit (bit @p bit of the byte at @p addr). */
+    bool readBit(Addr addr, unsigned bit) const;
+
+    /** Write one bit. */
+    void writeBit(Addr addr, unsigned bit, bool value);
+
+    /** True iff the frame containing @p addr has been materialized. */
+    bool touched(Addr addr) const;
+
+    /** Number of materialized frames. */
+    std::size_t frameCount() const { return frames_.size(); }
+
+    /** Frame numbers of all materialized frames (unordered). */
+    std::vector<Pfn> touchedFrames() const;
+
+    /** Drop every materialized frame (memory returns to fill value). */
+    void clear() { frames_.clear(); }
+
+  private:
+    using Frame = std::unique_ptr<std::uint8_t[]>;
+
+    /** Frame for @p pfn, or nullptr when never written. */
+    const std::uint8_t *peek(Pfn pfn) const;
+
+    /** Frame for @p pfn, materializing it on first use. */
+    std::uint8_t *touch(Pfn pfn);
+
+    std::uint8_t fill_;
+    std::unordered_map<Pfn, Frame> frames_;
+};
+
+} // namespace ctamem::dram
+
+#endif // CTAMEM_DRAM_SPARSE_STORE_HH

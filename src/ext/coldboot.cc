@@ -1,0 +1,65 @@
+#include "ext/coldboot.hh"
+
+#include "common/log.hh"
+
+namespace ctamem::ext {
+
+using dram::CellType;
+
+ColdBootGuard::ColdBootGuard(
+    dram::DramModule &module,
+    std::vector<profile::CellRetention> canaries)
+    : module_(module), canaries_(std::move(canaries))
+{
+    if (canaries_.empty())
+        fatal("ColdBootGuard: no canary cells");
+}
+
+ColdBootGuard
+ColdBootGuard::withProfiledCanaries(dram::DramModule &module,
+                                    Addr region_base,
+                                    std::uint64_t region_bytes,
+                                    std::uint64_t count)
+{
+    profile::RetentionProfiler profiler(module);
+    return ColdBootGuard(module,
+                         profiler.findCanaries(region_base,
+                                               region_bytes, count));
+}
+
+void
+ColdBootGuard::arm()
+{
+    for (const profile::CellRetention &cell : canaries_) {
+        module_.store().writeBit(cell.addr, cell.bit,
+                                 dram::chargedBit(cell.type));
+    }
+}
+
+bool
+ColdBootGuard::fullyDecayed() const
+{
+    for (const profile::CellRetention &cell : canaries_) {
+        if (module_.store().readBit(cell.addr, cell.bit) ==
+            dram::chargedBit(cell.type)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+BootDecision
+ColdBootGuard::check() const
+{
+    return fullyDecayed() ? BootDecision::Proceed : BootDecision::Halt;
+}
+
+BootDecision
+ColdBootGuard::paperLiteral() const
+{
+    // Proceed iff true-cell canaries read '1', anti-cell read '0' —
+    // i.e. the inverse of the sound condition.
+    return fullyDecayed() ? BootDecision::Halt : BootDecision::Proceed;
+}
+
+} // namespace ctamem::ext

@@ -1,0 +1,109 @@
+#include "ext/hamming_shield.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace ctamem::ext {
+
+HammingShield::HammingShield(dram::DramModule &module, Addr data_base,
+                             Addr weight_base, std::uint64_t words,
+                             bool enforce_cells)
+    : module_(module), dataBase_(data_base), weightBase_(weight_base),
+      words_(words)
+{
+    if (words == 0)
+        fatal("HammingShield: zero words");
+    if (!module.geometry().contains(data_base + words * 8 - 1) ||
+        !module.geometry().contains(weight_base + words - 1)) {
+        fatal("HammingShield: region extends past DRAM");
+    }
+    // Data and weights must not overlap.
+    const Addr data_end = data_base + words * 8;
+    const Addr weight_end = weight_base + words;
+    if (data_base < weight_end && weight_base < data_end)
+        fatal("HammingShield: data and weight regions overlap");
+    if (enforce_cells) {
+        if (module.cellTypeAt(data_base) != dram::CellType::True ||
+            module.cellTypeAt(data_end - 1) != dram::CellType::True) {
+            fatal("HammingShield: data must live in true-cells");
+        }
+        if (module.cellTypeAt(weight_base) != dram::CellType::Anti ||
+            module.cellTypeAt(weight_end - 1) !=
+                dram::CellType::Anti) {
+            fatal("HammingShield: weights must live in anti-cells");
+        }
+    }
+}
+
+void
+HammingShield::checkIndex(std::uint64_t index) const
+{
+    if (index >= words_)
+        fatal("HammingShield: word index ", index, " out of range");
+}
+
+void
+HammingShield::storeWord(std::uint64_t index, std::uint64_t value)
+{
+    checkIndex(index);
+    module_.writeU64(wordAddr(index), value);
+    module_.writeByte(weightAddr(index),
+                      static_cast<std::uint8_t>(popcount(value)));
+}
+
+std::uint64_t
+HammingShield::loadWord(std::uint64_t index) const
+{
+    checkIndex(index);
+    return module_.readU64(wordAddr(index));
+}
+
+void
+HammingShield::protect()
+{
+    for (std::uint64_t index = 0; index < words_; ++index) {
+        module_.writeByte(
+            weightAddr(index),
+            static_cast<std::uint8_t>(
+                popcount(module_.readU64(wordAddr(index)))));
+    }
+}
+
+HammingShield::WordState
+HammingShield::checkWord(std::uint64_t index) const
+{
+    checkIndex(index);
+    const unsigned observed =
+        popcount(module_.readU64(wordAddr(index)));
+    const unsigned stored = module_.readByte(weightAddr(index));
+    if (observed == stored)
+        return WordState::Clean;
+    // Data in true-cells only loses ones; a lower observed weight is
+    // a data fault.  A higher observed weight means the stored weight
+    // byte itself grew (anti-cell decay) — suspicious but the data
+    // may be fine.
+    return observed < stored ? WordState::FaultDetected :
+                               WordState::Suspicious;
+}
+
+HammingShield::CheckReport
+HammingShield::check() const
+{
+    CheckReport report;
+    for (std::uint64_t index = 0; index < words_; ++index) {
+        switch (checkWord(index)) {
+          case WordState::Clean:
+            ++report.clean;
+            break;
+          case WordState::FaultDetected:
+            ++report.faults;
+            break;
+          case WordState::Suspicious:
+            ++report.suspicious;
+            break;
+        }
+    }
+    return report;
+}
+
+} // namespace ctamem::ext

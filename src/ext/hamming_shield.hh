@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hamming-weight error detection (Section 8).
+ *
+ * Data words live in true-cells (weight can only *decrease* under
+ * faults); their popcounts live in anti-cells (stored weight can only
+ * *increase*).  A mismatch where observed < stored is therefore a
+ * reliable fault indicator; one POPCNT per word and log2(64)+1 = 7
+ * bits (we store a byte) of overhead per word.
+ *
+ * The rare wrong-direction flips (0.2% of vulnerable cells) cause the
+ * small false-negative/false-positive rates the paper accepts for
+ * approximate-computing use cases; the bench measures them.
+ */
+
+#ifndef CTAMEM_EXT_HAMMING_SHIELD_HH
+#define CTAMEM_EXT_HAMMING_SHIELD_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/module.hh"
+
+namespace ctamem::ext {
+
+/** Shields a run of 64-bit words with anti-cell weight bytes. */
+class HammingShield
+{
+  public:
+    /**
+     * @param module      backing DRAM
+     * @param data_base   base of the protected words (true-cells)
+     * @param weight_base base of the weight bytes (anti-cells)
+     * @param words       number of 64-bit words protected
+     * @param enforce_cells fail unless cell types are as recommended
+     */
+    HammingShield(dram::DramModule &module, Addr data_base,
+                  Addr weight_base, std::uint64_t words,
+                  bool enforce_cells = true);
+
+    std::uint64_t words() const { return words_; }
+
+    /** Write @p value to word @p index and record its weight. */
+    void storeWord(std::uint64_t index, std::uint64_t value);
+
+    /** Read word @p index without checking. */
+    std::uint64_t loadWord(std::uint64_t index) const;
+
+    /** Recompute and re-store every weight (after bulk updates). */
+    void protect();
+
+    /** Per-word check outcome. */
+    enum class WordState : std::uint8_t
+    {
+        Clean,        //!< weights match
+        FaultDetected,//!< observed weight < stored: data decayed
+        Suspicious,   //!< observed > stored: weight cell decayed
+    };
+
+    WordState checkWord(std::uint64_t index) const;
+
+    /** Aggregate check. */
+    struct CheckReport
+    {
+        std::uint64_t clean = 0;
+        std::uint64_t faults = 0;
+        std::uint64_t suspicious = 0;
+    };
+
+    CheckReport check() const;
+
+  private:
+    void checkIndex(std::uint64_t index) const;
+    Addr wordAddr(std::uint64_t index) const
+    {
+        return dataBase_ + index * 8;
+    }
+    Addr weightAddr(std::uint64_t index) const
+    {
+        return weightBase_ + index;
+    }
+
+    dram::DramModule &module_;
+    Addr dataBase_;
+    Addr weightBase_;
+    std::uint64_t words_;
+};
+
+} // namespace ctamem::ext
+
+#endif // CTAMEM_EXT_HAMMING_SHIELD_HH

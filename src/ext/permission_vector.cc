@@ -1,0 +1,87 @@
+#include "ext/permission_vector.hh"
+
+#include <vector>
+
+#include "common/log.hh"
+
+namespace ctamem::ext {
+
+PermissionVector::PermissionVector(dram::DramModule &module, Addr base,
+                                   std::uint64_t count,
+                                   bool require_true_cells)
+    : module_(module), base_(base), count_(count)
+{
+    if (count == 0)
+        fatal("PermissionVector: empty vector");
+    const Addr last = base + (count - 1) / 8;
+    if (!module.geometry().contains(last))
+        fatal("PermissionVector: vector extends past DRAM");
+    if (require_true_cells) {
+        const std::uint64_t row_bytes = module.geometry().rowBytes();
+        for (Addr addr = base; addr <= last;
+             addr += row_bytes) {
+            if (module.cellTypeAt(addr) != dram::CellType::True) {
+                fatal("PermissionVector: true-cell placement "
+                      "required but address ", addr,
+                      " is in anti-cells");
+            }
+        }
+        if (module.cellTypeAt(last) != dram::CellType::True)
+            fatal("PermissionVector: tail lies in anti-cells");
+    }
+}
+
+void
+PermissionVector::checkIndex(std::uint64_t index) const
+{
+    if (index >= count_)
+        fatal("PermissionVector: index ", index, " out of range");
+}
+
+void
+PermissionVector::grant(std::uint64_t index)
+{
+    checkIndex(index);
+    module_.store().writeBit(base_ + index / 8,
+                             static_cast<unsigned>(index % 8), true);
+}
+
+void
+PermissionVector::deny(std::uint64_t index)
+{
+    checkIndex(index);
+    module_.store().writeBit(base_ + index / 8,
+                             static_cast<unsigned>(index % 8), false);
+}
+
+bool
+PermissionVector::allowed(std::uint64_t index) const
+{
+    checkIndex(index);
+    return module_.store().readBit(
+        base_ + index / 8, static_cast<unsigned>(index % 8));
+}
+
+dram::CellType
+PermissionVector::cellType() const
+{
+    return module_.cellTypeAt(base_);
+}
+
+PermissionVector::DriftReport
+PermissionVector::audit(const std::vector<bool> &reference) const
+{
+    if (reference.size() != count_)
+        fatal("PermissionVector::audit: reference size mismatch");
+    DriftReport report;
+    for (std::uint64_t i = 0; i < count_; ++i) {
+        const bool now = allowed(i);
+        if (now && !reference[i])
+            ++report.deniedToAllowed;
+        else if (!now && reference[i])
+            ++report.allowedToDenied;
+    }
+    return report;
+}
+
+} // namespace ctamem::ext

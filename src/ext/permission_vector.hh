@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Permission-vector protection (Section 8).
+ *
+ * Security-critical bit vectors (file rwx bits, SELinux access
+ * vectors, PTE permission bits) use '1' = allowed.  Stored in
+ * true-cells, charge-leak faults can only move permissions from
+ * allowed to denied — annoying, but never a confidentiality
+ * violation.  Stored in anti-cells, the same fault grants access.
+ */
+
+#ifndef CTAMEM_EXT_PERMISSION_VECTOR_HH
+#define CTAMEM_EXT_PERMISSION_VECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/module.hh"
+
+namespace ctamem::ext {
+
+/** A bit vector of permissions living in simulated DRAM. */
+class PermissionVector
+{
+  public:
+    /**
+     * @param module  backing DRAM
+     * @param base    physical address of the vector
+     * @param count   number of permission bits
+     * @param require_true_cells fail construction unless the vector
+     *        lies entirely in true-cell rows (the CTA-recommended
+     *        placement); pass false to build the vulnerable variant
+     *        for comparison experiments
+     */
+    PermissionVector(dram::DramModule &module, Addr base,
+                     std::uint64_t count,
+                     bool require_true_cells = true);
+
+    std::uint64_t count() const { return count_; }
+    Addr base() const { return base_; }
+
+    /** Grant permission @p index ('1'). */
+    void grant(std::uint64_t index);
+
+    /** Deny permission @p index ('0'). */
+    void deny(std::uint64_t index);
+
+    /** Current state of permission @p index. */
+    bool allowed(std::uint64_t index) const;
+
+    /** Cell type backing the vector. */
+    dram::CellType cellType() const;
+
+    /**
+     * Audit against a reference state: counts how many permissions
+     * drifted denied->allowed (confidentiality violations) and
+     * allowed->denied (availability losses) relative to @p reference
+     * (bit i of reference = expected state of permission i).
+     */
+    struct DriftReport
+    {
+        std::uint64_t deniedToAllowed = 0; //!< security violations
+        std::uint64_t allowedToDenied = 0; //!< availability losses
+    };
+
+    DriftReport audit(const std::vector<bool> &reference) const;
+
+  private:
+    void checkIndex(std::uint64_t index) const;
+
+    dram::DramModule &module_;
+    Addr base_;
+    std::uint64_t count_;
+};
+
+} // namespace ctamem::ext
+
+#endif // CTAMEM_EXT_PERMISSION_VECTOR_HH

@@ -1,0 +1,158 @@
+#include "ext/sandbox.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace ctamem::ext {
+
+namespace {
+
+/** Bytes per instruction: [opcode, a, b, imm]. */
+constexpr std::uint64_t insnBytes = 4;
+
+/** Privileged opcodes carry bit 7 under the monotone encoding. */
+constexpr std::uint8_t privilegeBit = 0x80;
+
+std::uint8_t
+naiveCode(Op op)
+{
+    switch (op) {
+      case Op::Nop: return 0x10;
+      case Op::LoadImm: return 0x11;
+      case Op::Add: return 0x13;
+      case Op::Store: return 0x16;
+      case Op::Jmp: return 0x19;
+      case Op::Halt: return 0x1f;
+      // One cleared bit below Add: the classic flip target.
+      case Op::HostCall: return 0x03;
+      case Op::Invalid: break;
+    }
+    return 0xff;
+}
+
+std::uint8_t
+monotoneCode(Op op)
+{
+    if (op == Op::HostCall)
+        return privilegeBit | 0x13;
+    if (op == Op::Invalid)
+        return 0xff;
+    return naiveCode(op);
+}
+
+} // namespace
+
+std::uint8_t
+encodeOp(Op op, OpcodeEncoding encoding)
+{
+    return encoding == OpcodeEncoding::Naive ? naiveCode(op) :
+                                               monotoneCode(op);
+}
+
+Op
+decodeOp(std::uint8_t byte, OpcodeEncoding encoding)
+{
+    for (const Op op : {Op::Nop, Op::LoadImm, Op::Add, Op::Store,
+                        Op::Jmp, Op::Halt, Op::HostCall}) {
+        if (encodeOp(op, encoding) == byte)
+            return op;
+    }
+    return Op::Invalid;
+}
+
+bool
+Sandbox::verify(std::uint64_t bytes) const
+{
+    for (Addr pc = 0; pc + insnBytes <= bytes; pc += insnBytes) {
+        const Op op = decodeOp(module_.readByte(codeBase_ + pc),
+                               encoding_);
+        if (op == Op::HostCall || op == Op::Invalid)
+            return false;
+    }
+    return true;
+}
+
+SandboxRun
+Sandbox::run(std::uint64_t bytes, std::uint64_t max_steps) const
+{
+    SandboxRun result;
+    std::uint64_t regs[8] = {};
+    std::uint8_t scratch[256] = {};
+    std::uint64_t pc = 0;
+
+    while (result.steps < max_steps) {
+        if (pc + insnBytes > bytes)
+            break; // fell off the end: treated as halt
+        const Addr insn = codeBase_ + pc;
+        const Op op = decodeOp(module_.readByte(insn), encoding_);
+        const std::uint8_t a = module_.readByte(insn + 1) % 8;
+        const std::uint8_t b = module_.readByte(insn + 2) % 8;
+        const std::uint8_t imm = module_.readByte(insn + 3);
+        ++result.steps;
+        pc += insnBytes;
+
+        switch (op) {
+          case Op::Nop:
+            break;
+          case Op::LoadImm:
+            regs[a] = imm;
+            break;
+          case Op::Add:
+            regs[a] += regs[b];
+            break;
+          case Op::Store:
+            scratch[regs[a] % sizeof(scratch)] =
+                static_cast<std::uint8_t>(regs[b]);
+            break;
+          case Op::Jmp: {
+            const std::int64_t delta =
+                static_cast<std::int8_t>(imm) *
+                static_cast<std::int64_t>(insnBytes);
+            const std::int64_t target =
+                static_cast<std::int64_t>(pc) + delta;
+            if (target < 0 ||
+                static_cast<std::uint64_t>(target) >= bytes) {
+                result.crashed = true;
+                return result;
+            }
+            pc = static_cast<std::uint64_t>(target);
+            break;
+          }
+          case Op::Halt:
+            return result;
+          case Op::HostCall:
+            // The escape: a privileged operation ran inside a
+            // verified sandbox.
+            result.escaped = true;
+            return result;
+          case Op::Invalid:
+            result.crashed = true;
+            return result;
+        }
+    }
+    return result;
+}
+
+void
+Sandbox::writeBenignProgram(std::uint64_t bytes,
+                            std::uint64_t seed) const
+{
+    if (bytes % insnBytes != 0)
+        fatal("program size must be a multiple of ", insnBytes);
+    Rng rng(seed);
+    const Op pool[] = {Op::Nop, Op::LoadImm, Op::Add, Op::Add,
+                       Op::Store};
+    for (Addr pc = 0; pc + insnBytes <= bytes; pc += insnBytes) {
+        const bool last = pc + insnBytes * 2 > bytes;
+        const Op op = last ? Op::Halt : pool[rng.below(5)];
+        module_.writeByte(codeBase_ + pc, encodeOp(op, encoding_));
+        module_.writeByte(codeBase_ + pc + 1,
+                          static_cast<std::uint8_t>(rng.below(8)));
+        module_.writeByte(codeBase_ + pc + 2,
+                          static_cast<std::uint8_t>(rng.below(8)));
+        module_.writeByte(codeBase_ + pc + 3,
+                          static_cast<std::uint8_t>(rng.below(200)));
+    }
+}
+
+} // namespace ctamem::ext

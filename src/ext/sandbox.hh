@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Sandbox-escape-by-bit-flip (the second attack class of Table 1:
+ * Seaborn & Dullien flipped opcodes to escape the NaCl sandbox), and
+ * a monotonicity-based countermeasure in the spirit of Section 8.
+ *
+ * The substrate is a deliberately small register machine whose
+ * program bytes live in simulated DRAM.  Its ISA has unprivileged
+ * opcodes and one privileged opcode (a host call).  A verifier admits
+ * only unprivileged programs — but RowHammer flips program bytes
+ * *after* verification, exactly like the published attack.
+ *
+ * Countermeasure: a *monotone opcode encoding*.  With program pages
+ * in true-cells, faults only clear bits; if every privileged opcode
+ * contains a set bit that no unprivileged opcode has (here: bit 7),
+ * no amount of '1'->'0' corruption can turn a verified program
+ * privileged.  The naive encoding (privileged = 0x00-adjacent values)
+ * is down-flip-reachable and falls.
+ */
+
+#ifndef CTAMEM_EXT_SANDBOX_HH
+#define CTAMEM_EXT_SANDBOX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/module.hh"
+
+namespace ctamem::ext {
+
+/** How opcodes are assigned numeric encodings. */
+enum class OpcodeEncoding : std::uint8_t
+{
+    /**
+     * Naive: HOSTCALL sits one cleared bit below common opcodes
+     * (e.g. ADD = 0x13, HOSTCALL = 0x03) — a single '1'->'0' flip
+     * in a verified program escapes the sandbox.
+     */
+    Naive,
+    /**
+     * Monotone: every privileged opcode has bit 7 set, every
+     * unprivileged one has it clear.  In true-cells, downward faults
+     * can never mint a privileged opcode.
+     */
+    Monotone,
+};
+
+/** The mini ISA, independent of encoding. */
+enum class Op : std::uint8_t
+{
+    Nop,
+    LoadImm, //!< reg[a] = imm
+    Add,     //!< reg[a] += reg[b]
+    Store,   //!< mem[reg[a] & mask] = reg[b] (sandbox-local scratch)
+    Jmp,     //!< relative jump (verified bounds)
+    Halt,
+    HostCall, //!< PRIVILEGED: touches the host (the escape)
+    Invalid,
+};
+
+/** Encode @p op under @p encoding. */
+std::uint8_t encodeOp(Op op, OpcodeEncoding encoding);
+
+/** Decode a program byte under @p encoding. */
+Op decodeOp(std::uint8_t byte, OpcodeEncoding encoding);
+
+/** Outcome of one sandboxed execution. */
+struct SandboxRun
+{
+    bool escaped = false;     //!< a privileged opcode executed
+    bool crashed = false;     //!< invalid opcode / bounds violation
+    std::uint64_t steps = 0;
+};
+
+/** A sandboxed interpreter over program bytes held in DRAM. */
+class Sandbox
+{
+  public:
+    /**
+     * @param module     DRAM holding the program
+     * @param code_base  physical base of the program bytes
+     * @param encoding   the opcode numbering in force
+     */
+    Sandbox(dram::DramModule &module, Addr code_base,
+            OpcodeEncoding encoding)
+        : module_(module), codeBase_(code_base), encoding_(encoding)
+    {}
+
+    /**
+     * Verifier: admit the @p bytes-long program only if it contains
+     * no privileged opcode (run before the program is exposed to
+     * hammering, as NaCl's validator was).
+     */
+    bool verify(std::uint64_t bytes) const;
+
+    /** Execute up to @p max_steps instructions. */
+    SandboxRun run(std::uint64_t bytes,
+                   std::uint64_t max_steps = 10000) const;
+
+    /**
+     * Write a benign demo program of @p bytes instructions (NOP/ADD/
+     * LOADIMM mix) at the code base.
+     */
+    void writeBenignProgram(std::uint64_t bytes,
+                            std::uint64_t seed = 1) const;
+
+    OpcodeEncoding encoding() const { return encoding_; }
+
+  private:
+    dram::DramModule &module_;
+    Addr codeBase_;
+    OpcodeEncoding encoding_;
+};
+
+} // namespace ctamem::ext
+
+#endif // CTAMEM_EXT_SANDBOX_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Simulated processes, their virtual memory areas, and simulated
+ * files (the shared mappings RowHammer PTE-spray attacks rely on).
+ */
+
+#ifndef CTAMEM_KERNEL_PROCESS_HH
+#define CTAMEM_KERNEL_PROCESS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "paging/address_space.hh"
+#include "paging/pte.hh"
+
+namespace ctamem::kernel {
+
+/** One virtual memory area. */
+struct Vma
+{
+    VAddr start = 0;
+    std::uint64_t length = 0;
+    paging::PageFlags prot;
+    int fd = -1;                 //!< backing file, or -1 for anonymous
+    std::uint64_t fileOffset = 0;
+    unsigned largeLevel = 0;     //!< 0 = 4 KiB pages, 2 = 2 MiB page
+
+    VAddr end() const { return start + length; }
+    bool isAnon() const { return fd < 0; }
+
+    bool
+    contains(VAddr vaddr) const
+    {
+        return vaddr >= start && vaddr < end();
+    }
+};
+
+/** A simulated file whose pages are shared across mappings. */
+struct SimFile
+{
+    int fd = -1;
+    std::uint64_t length = 0;
+    /** page index within the file -> physical frame (lazily filled) */
+    std::map<std::uint64_t, Pfn> frames;
+};
+
+/** One simulated process. */
+struct Process
+{
+    int pid = -1;
+    std::string name;
+    /** Trusted processes may draw from ZONE_KERNEL_RSV (Section 5). */
+    bool trusted = false;
+
+    Pfn rootPfn = invalidPfn; //!< PML4 frame
+    std::unique_ptr<paging::AddressSpace> space;
+    std::vector<Vma> vmas;
+
+    /** Bump pointer for non-fixed mmap placement. */
+    VAddr mmapCursor = 0x0000'0010'0000'0000ULL;
+
+    /** Frames this process faulted in: vaddr page -> frame. */
+    std::map<VAddr, Pfn> anonFrames;
+
+    Counter pageFaults;
+
+    /** VMA containing @p vaddr, or nullptr. */
+    Vma *
+    findVma(VAddr vaddr)
+    {
+        for (Vma &vma : vmas)
+            if (vma.contains(vaddr))
+                return &vma;
+        return nullptr;
+    }
+};
+
+} // namespace ctamem::kernel
+
+#endif // CTAMEM_KERNEL_PROCESS_HH

@@ -1,0 +1,46 @@
+#include "model/capacity.hh"
+
+#include "common/log.hh"
+
+namespace ctamem::model {
+
+CapacityLoss
+analyzeCapacityLoss(const dram::CellTypeMap &map,
+                    std::uint64_t mem_bytes, std::uint64_t ptp_bytes,
+                    std::uint64_t row_bytes)
+{
+    if (ptp_bytes % row_bytes != 0)
+        fatal("analyzeCapacityLoss: ptp size not row-aligned");
+
+    CapacityLoss loss{0, 0, 0};
+    const std::uint64_t total_rows = mem_bytes / row_bytes;
+    std::uint64_t row = total_rows;
+    while (loss.ptpBytes < ptp_bytes) {
+        if (row == 0) {
+            fatal("analyzeCapacityLoss: module cannot supply ",
+                  ptp_bytes, " true-cell bytes");
+        }
+        --row;
+        if (map.rowType(row) == dram::CellType::True)
+            loss.ptpBytes += row_bytes;
+        else
+            loss.skippedAntiBytes += row_bytes;
+    }
+    loss.lowWaterMark = row * row_bytes;
+    return loss;
+}
+
+double
+worstCaseLossFraction(std::uint64_t period, std::uint64_t row_bytes,
+                      std::uint64_t mem_bytes, std::uint64_t ptp_bytes)
+{
+    const std::uint64_t stripe_bytes = period * row_bytes;
+    // Each (started) stripe of ZONE_PTP may sit under one full anti
+    // stripe in the worst case.
+    const std::uint64_t stripes_needed =
+        (ptp_bytes + stripe_bytes - 1) / stripe_bytes;
+    return static_cast<double>(stripes_needed * stripe_bytes) /
+           static_cast<double>(mem_bytes);
+}
+
+} // namespace ctamem::model

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The Section 6.2 effective-memory-capacity model: anti-cell rows
+ * skipped while carving ZONE_PTP from the top of memory are lost
+ * capacity.  Worst case for the alternating-512 layout: one full
+ * 64 MiB anti stripe per 64 MiB of ZONE_PTP (0.78% of an 8 GiB
+ * machine).
+ */
+
+#ifndef CTAMEM_MODEL_CAPACITY_HH
+#define CTAMEM_MODEL_CAPACITY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/cell_types.hh"
+
+namespace ctamem::model {
+
+/** Outcome of the capacity analysis for one layout. */
+struct CapacityLoss
+{
+    std::uint64_t ptpBytes;        //!< true-cell bytes collected
+    std::uint64_t skippedAntiBytes;//!< anti-cell bytes wasted
+    Addr lowWaterMark;
+
+    double
+    lossFraction(std::uint64_t mem_bytes) const
+    {
+        return static_cast<double>(skippedAntiBytes) /
+               static_cast<double>(mem_bytes);
+    }
+};
+
+/**
+ * Walk rows downward from the top of a @p mem_bytes module laid out
+ * by @p map, collecting @p ptp_bytes of true cells — the exact
+ * algorithm the CTA zone builder runs, in pure form.
+ */
+CapacityLoss analyzeCapacityLoss(const dram::CellTypeMap &map,
+                                 std::uint64_t mem_bytes,
+                                 std::uint64_t ptp_bytes,
+                                 std::uint64_t row_bytes = 128 * KiB);
+
+/**
+ * Worst-case loss for an alternating layout: the top of memory is an
+ * entire anti stripe (period * row_bytes skipped per stripe needed).
+ */
+double worstCaseLossFraction(std::uint64_t period,
+                             std::uint64_t row_bytes,
+                             std::uint64_t mem_bytes,
+                             std::uint64_t ptp_bytes);
+
+} // namespace ctamem::model
+
+#endif // CTAMEM_MODEL_CAPACITY_HH

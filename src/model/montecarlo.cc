@@ -1,0 +1,92 @@
+#include "model/montecarlo.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace ctamem::model {
+
+namespace {
+
+McEstimate
+summarize(std::uint64_t hits, std::uint64_t trials)
+{
+    const double mean =
+        static_cast<double>(hits) / static_cast<double>(trials);
+    const double variance = mean * (1.0 - mean);
+    return McEstimate{
+        mean, std::sqrt(variance / static_cast<double>(trials)),
+        trials};
+}
+
+} // namespace
+
+McEstimate
+mcExploitableFixedZeros(const SystemParams &params, unsigned zeros,
+                        std::uint64_t trials, std::uint64_t seed)
+{
+    const unsigned n = params.indicatorBits();
+    if (zeros > n)
+        fatal("mcExploitableFixedZeros: zeros > indicator bits");
+    const double p_up = params.errors.upFlipProb(params.zoneCells);
+    const double p_down =
+        params.errors.downFlipProb(params.zoneCells);
+
+    Rng rng(seed);
+    std::uint64_t hits = 0;
+    std::vector<unsigned> positions(n);
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        // Choose which indicator bits are zero (Fisher-Yates prefix).
+        for (unsigned i = 0; i < n; ++i)
+            positions[i] = i;
+        for (unsigned i = 0; i < zeros; ++i) {
+            const unsigned j =
+                i + static_cast<unsigned>(rng.below(n - i));
+            std::swap(positions[i], positions[j]);
+        }
+        bool exploitable = true;
+        for (unsigned i = 0; i < n && exploitable; ++i) {
+            if (i < zeros)
+                exploitable = rng.chance(p_up);   // must flip up
+            else
+                exploitable = !rng.chance(p_down); // must hold
+        }
+        if (exploitable)
+            ++hits;
+    }
+    return summarize(hits, trials);
+}
+
+McEstimate
+mcExploitableUniform(const SystemParams &params, std::uint64_t trials,
+                     std::uint64_t seed)
+{
+    const unsigned n = params.indicatorBits();
+    const double p_up = params.errors.upFlipProb(params.zoneCells);
+    const double p_down =
+        params.errors.downFlipProb(params.zoneCells);
+    const std::uint64_t all_ones = (1ULL << n) - 1;
+
+    Rng rng(seed);
+    std::uint64_t hits = 0;
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        // Uniform pointer below the low water mark: its indicator is
+        // uniform over [0, 2^n - 1) (the all-ones value IS the zone).
+        const std::uint64_t indicator = rng.below(all_ones);
+        std::uint64_t value = indicator;
+        for (unsigned bit = 0; bit < n; ++bit) {
+            const bool set = (value >> bit) & 1;
+            if (!set && rng.chance(p_up))
+                value |= 1ULL << bit;
+            else if (set && rng.chance(p_down))
+                value &= ~(1ULL << bit);
+        }
+        if (value == all_ones)
+            ++hits;
+    }
+    return summarize(hits, trials);
+}
+
+} // namespace ctamem::model

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Monte-Carlo cross-checks of the closed-form security model.
+ *
+ * Two samplers:
+ *  - attacker-optimal content (the paper's implicit assumption): the
+ *    attacker sprays PTEs whose indicators carry the minimum number
+ *    of zeros the restriction allows, and any choice of which bits
+ *    are zero is equally available — matching the C(n,i) weighting
+ *    of the formula;
+ *  - uniform pointers below the low water mark, the conservative
+ *    variant, showing the formula upper-bounds real spray content.
+ */
+
+#ifndef CTAMEM_MODEL_MONTECARLO_HH
+#define CTAMEM_MODEL_MONTECARLO_HH
+
+#include <cstdint>
+
+#include "model/security_model.hh"
+
+namespace ctamem::model {
+
+/** Monte-Carlo estimate with its standard error. */
+struct McEstimate
+{
+    double mean;
+    double stderr;
+    std::uint64_t trials;
+};
+
+/**
+ * Estimate P_exploitable by simulating per-bit flips on PTEs whose
+ * indicator has exactly @p zeros zero bits (attacker-optimal when
+ * zeros == max(1, minIndicatorZeros)).
+ */
+McEstimate mcExploitableFixedZeros(const SystemParams &params,
+                                   unsigned zeros,
+                                   std::uint64_t trials,
+                                   std::uint64_t seed = 42);
+
+/**
+ * Estimate P_exploitable for uniform pointers below the low water
+ * mark.
+ */
+McEstimate mcExploitableUniform(const SystemParams &params,
+                                std::uint64_t trials,
+                                std::uint64_t seed = 42);
+
+} // namespace ctamem::model
+
+#endif // CTAMEM_MODEL_MONTECARLO_HH

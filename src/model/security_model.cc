@@ -1,0 +1,77 @@
+#include "model/security_model.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/combinatorics.hh"
+#include "common/log.hh"
+
+namespace ctamem::model {
+
+unsigned
+SystemParams::indicatorBits() const
+{
+    if (!isPowerOfTwo(memBytes) || !isPowerOfTwo(ptpBytes) ||
+        ptpBytes >= memBytes) {
+        fatal("SystemParams: memory and ZONE_PTP sizes must be "
+              "powers of two with ptp < mem");
+    }
+    return log2Floor(memBytes / ptpBytes);
+}
+
+double
+pExploitable(const SystemParams &params)
+{
+    const unsigned n = params.indicatorBits();
+    const unsigned min_flips =
+        params.minIndicatorZeros == 0 ? 1 : params.minIndicatorZeros;
+    const double p_up = params.errors.upFlipProb(params.zoneCells);
+    const double p_down = params.errors.downFlipProb(params.zoneCells);
+    return binomialTail(n, min_flips, p_up, p_down);
+}
+
+double
+expectedExploitablePtes(const SystemParams &params)
+{
+    return pExploitable(params) *
+           static_cast<double>(params.pteCount());
+}
+
+double
+vulnerableSystemFraction(const SystemParams &params)
+{
+    // With E << 1, P(at least one exploitable PTE) ~= E.
+    return atLeastOne(pExploitable(params),
+                      static_cast<double>(params.pteCount()));
+}
+
+AttackTime
+expectedAttackTime(const SystemParams &params, const AttackCosts &costs)
+{
+    AttackTime result;
+    result.perPageSeconds =
+        costs.fillSeconds +
+        static_cast<double>(params.ptpRows()) *
+            (costs.hammerSeconds +
+             static_cast<double>(params.ptesPerRow()) *
+                 costs.checkSeconds);
+
+    constexpr double seconds_per_day = 86400.0;
+    const double worst_seconds =
+        static_cast<double>(params.pagesBelowLwm()) *
+        result.perPageSeconds;
+    result.worstDays = worst_seconds / seconds_per_day;
+
+    if (params.minIndicatorZeros >= 2) {
+        // Conditioned on the rare vulnerable system: assume exactly
+        // one exploitable PTE, found halfway on average.
+        result.avgDays = result.worstDays / 2.0;
+    } else {
+        const double expected = expectedExploitablePtes(params);
+        result.avgDays =
+            result.worstDays / (std::ceil(expected) + 1.0);
+    }
+    return result;
+}
+
+} // namespace ctamem::model

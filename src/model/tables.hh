@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Generators for the paper's Tables 2 and 3: expected exploitable
+ * PTE counts and expected attack times over the
+ * {8, 16, 32} GiB x {32, 64} MiB x {unrestricted, restricted} sweep.
+ */
+
+#ifndef CTAMEM_MODEL_TABLES_HH
+#define CTAMEM_MODEL_TABLES_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "model/security_model.hh"
+
+namespace ctamem::model {
+
+/** One cell-pair of Table 2/3. */
+struct TableRow
+{
+    std::uint64_t memBytes;
+    std::uint64_t ptpBytes;
+    bool restricted;        //!< >= two '0's enforced
+    double expectedPtes;
+    double attackDays;
+};
+
+/** The sweep both tables share. */
+std::vector<TableRow> sweepTable(const dram::ErrorStats &errors);
+
+/** Table 2: Pf = 1e-4, P01 = 0.2%. */
+std::vector<TableRow> makeTable2();
+
+/** Table 3: the pessimistic Pf = 5e-4, P01 = 0.5% scaling scenario. */
+std::vector<TableRow> makeTable3();
+
+/** The published values, for verification and printing. */
+struct PaperReference
+{
+    double expectedPtes;
+    double attackDays;
+};
+
+/** Paper values for Table 2, keyed like sweepTable's output order. */
+std::vector<PaperReference> paperTable2();
+
+/** Paper values for Table 3. */
+std::vector<PaperReference> paperTable3();
+
+/** Pretty-print a table with the paper's values alongside. */
+void printTable(std::ostream &os, const std::string &title,
+                const std::vector<TableRow> &rows,
+                const std::vector<PaperReference> &reference);
+
+} // namespace ctamem::model
+
+#endif // CTAMEM_MODEL_TABLES_HH

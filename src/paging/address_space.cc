@@ -1,0 +1,112 @@
+#include "paging/address_space.hh"
+
+#include "common/log.hh"
+
+namespace ctamem::paging {
+
+AddressSpace::AddressSpace(dram::DramModule &module, PteAllocFn alloc,
+                           PteFreeFn free_fn, Pfn root)
+    : module_(module), alloc_(std::move(alloc)),
+      free_(std::move(free_fn)), root_(root)
+{
+}
+
+std::optional<Pfn>
+AddressSpace::ensureTable(VAddr vaddr, unsigned target)
+{
+    Pfn table = root_;
+    for (unsigned level = pagingLevels; level > target; --level) {
+        const Addr entry_addr =
+            pfnToAddr(table) + tableIndex(vaddr, level) * 8;
+        Pte entry(module_.readU64(entry_addr));
+        if (!entry.present()) {
+            auto fresh = alloc_(level - 1);
+            if (!fresh)
+                return std::nullopt;
+            tables_.push_back(
+                TableRecord{*fresh, level - 1, entry_addr});
+            // Table entries carry the most permissive flags; leaves
+            // enforce the real policy (the Linux convention).
+            entry = Pte::make(*fresh, PageFlags{true, true, false});
+            module_.writeU64(entry_addr, entry.raw());
+        } else if (entry.pageSize()) {
+            // A large-page leaf blocks descent.
+            return std::nullopt;
+        }
+        table = entry.pfn();
+    }
+    return table;
+}
+
+bool
+AddressSpace::map(VAddr vaddr, Pfn pfn, const PageFlags &flags)
+{
+    auto table = ensureTable(vaddr, 1);
+    if (!table)
+        return false;
+    const Addr entry_addr =
+        pfnToAddr(*table) + tableIndex(vaddr, 1) * 8;
+    module_.writeU64(entry_addr, Pte::make(pfn, flags).raw());
+    return true;
+}
+
+bool
+AddressSpace::mapLarge(VAddr vaddr, Pfn pfn, const PageFlags &flags,
+                       unsigned level)
+{
+    if (level < 2 || level > 3)
+        fatal("mapLarge: level must be 2 (2 MiB) or 3 (1 GiB)");
+    if (vaddr & (levelCoverage(level) - 1))
+        fatal("mapLarge: vaddr not aligned to the page size");
+    auto table = ensureTable(vaddr, level);
+    if (!table)
+        return false;
+    const Addr entry_addr =
+        pfnToAddr(*table) + tableIndex(vaddr, level) * 8;
+    module_.writeU64(entry_addr,
+                     Pte::make(pfn, flags, /*page_size=*/true).raw());
+    return true;
+}
+
+bool
+AddressSpace::unmap(VAddr vaddr)
+{
+    Pfn table = root_;
+    for (unsigned level = pagingLevels; level >= 1; --level) {
+        const Addr entry_addr =
+            pfnToAddr(table) + tableIndex(vaddr, level) * 8;
+        const Pte entry(module_.readU64(entry_addr));
+        if (!entry.present())
+            return false;
+        if (level == 1 || entry.pageSize()) {
+            module_.writeU64(entry_addr, 0);
+            return true;
+        }
+        table = entry.pfn();
+    }
+    return false;
+}
+
+std::optional<TableRecord>
+AddressSpace::evictLeafTable()
+{
+    for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+        if (it->level != 1)
+            continue;
+        const TableRecord record = *it;
+        module_.writeU64(record.parentEntryAddr, 0);
+        tables_.erase(it);
+        return record;
+    }
+    return std::nullopt;
+}
+
+void
+AddressSpace::releaseTables()
+{
+    for (const TableRecord &record : tables_)
+        free_(record.pfn);
+    tables_.clear();
+}
+
+} // namespace ctamem::paging

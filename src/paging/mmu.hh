@@ -1,0 +1,64 @@
+/**
+ * @file
+ * MMU facade: TLB-accelerated translation over the page walker.
+ */
+
+#ifndef CTAMEM_PAGING_MMU_HH
+#define CTAMEM_PAGING_MMU_HH
+
+#include "common/types.hh"
+#include "dram/module.hh"
+#include "paging/tlb.hh"
+#include "paging/walker.hh"
+
+namespace ctamem::paging {
+
+/** Translates virtual accesses, caching 4 KiB leaf translations. */
+class Mmu
+{
+  public:
+    explicit Mmu(dram::DramModule &module, std::size_t tlb_entries = 64)
+        : walker_(module), tlb_(tlb_entries)
+    {}
+
+    /**
+     * Translate @p vaddr in the space rooted at @p root.  TLB hits
+     * skip the walk but still enforce the cached R/W / U/S bits.
+     */
+    WalkResult
+    translate(Pfn root, VAddr vaddr, AccessType access,
+              Privilege privilege)
+    {
+        if (const TlbEntry *hit = tlb_.lookup(root, vaddr)) {
+            WalkResult result;
+            result.writable = hit->writable;
+            result.user = hit->user;
+            if ((privilege == Privilege::User && !hit->user) ||
+                (access == AccessType::Write && !hit->writable)) {
+                result.fault = Fault::Protection;
+                return result;
+            }
+            result.phys = hit->physBase | (vaddr & pageMask);
+            return result;
+        }
+        WalkResult result = walker_.walk(root, vaddr, access,
+                                         privilege);
+        if (result.ok() && result.leafLevel == 1) {
+            tlb_.insert(TlbEntry{root, vaddr >> pageShift,
+                                 pageAlignDown(result.phys),
+                                 result.writable, result.user});
+        }
+        return result;
+    }
+
+    PageWalker &walker() { return walker_; }
+    Tlb &tlb() { return tlb_; }
+
+  private:
+    PageWalker walker_;
+    Tlb tlb_;
+};
+
+} // namespace ctamem::paging
+
+#endif // CTAMEM_PAGING_MMU_HH

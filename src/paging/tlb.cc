@@ -1,0 +1,66 @@
+#include "paging/tlb.hh"
+
+namespace ctamem::paging {
+
+const TlbEntry *
+Tlb::lookup(Pfn root, VAddr vaddr)
+{
+    const VAddr vpn = vaddr >> pageShift;
+    auto it = index_.find(key(root, vpn));
+    if (it == index_.end()) {
+        stats_.counter("misses").increment();
+        return nullptr;
+    }
+    // Verify (hash collisions possible with the flat key).
+    if (it->second->root != root || it->second->vpn != vpn) {
+        stats_.counter("misses").increment();
+        return nullptr;
+    }
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    stats_.counter("hits").increment();
+    return &*lru_.begin();
+}
+
+void
+Tlb::insert(const TlbEntry &entry)
+{
+    const std::uint64_t k = key(entry.root, entry.vpn);
+    auto it = index_.find(k);
+    if (it != index_.end()) {
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+    if (lru_.size() >= capacity_) {
+        const TlbEntry &victim = lru_.back();
+        index_.erase(key(victim.root, victim.vpn));
+        lru_.pop_back();
+        stats_.counter("evictions").increment();
+    }
+    lru_.push_front(entry);
+    index_[k] = lru_.begin();
+}
+
+void
+Tlb::flushAll()
+{
+    lru_.clear();
+    index_.clear();
+    stats_.counter("flushes").increment();
+}
+
+void
+Tlb::flushPage(VAddr vaddr)
+{
+    const VAddr vpn = vaddr >> pageShift;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (it->vpn == vpn) {
+            index_.erase(key(it->root, it->vpn));
+            it = lru_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace ctamem::paging

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A small software TLB model.
+ *
+ * RowHammer PTE attacks flush the TLB between hammer passes so the
+ * MMU re-reads the (possibly corrupted) PTE from DRAM; the model
+ * exists so that caching behaviour — and the attacker's need to
+ * defeat it — is represented, and so the performance harness can
+ * report hit rates.
+ */
+
+#ifndef CTAMEM_PAGING_TLB_HH
+#define CTAMEM_PAGING_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "paging/walker.hh"
+
+namespace ctamem::paging {
+
+/** One cached translation. */
+struct TlbEntry
+{
+    Pfn root;       //!< address-space identifier (PML4 frame)
+    VAddr vpn;      //!< virtual page number
+    Addr physBase;  //!< physical base of the 4 KiB frame
+    bool writable;
+    bool user;
+};
+
+/** Fully associative LRU TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(std::size_t capacity = 64) : capacity_(capacity) {}
+
+    /** Look up (root, vaddr); nullptr on miss. */
+    const TlbEntry *lookup(Pfn root, VAddr vaddr);
+
+    /** Insert a translation (evicting LRU if full). */
+    void insert(const TlbEntry &entry);
+
+    /** Drop everything (the attack's clflush/reload step). */
+    void flushAll();
+
+    /** Drop one page's translation across all address spaces. */
+    void flushPage(VAddr vaddr);
+
+    std::size_t size() const { return lru_.size(); }
+
+    /** Counters: hits, misses, evictions, flushes. */
+    StatGroup &stats() { return stats_; }
+
+  private:
+    static std::uint64_t
+    key(Pfn root, VAddr vpn)
+    {
+        return splitKey(root) ^ vpn;
+    }
+
+    static std::uint64_t
+    splitKey(Pfn root)
+    {
+        return root * 0x9e3779b97f4a7c15ULL;
+    }
+
+    std::size_t capacity_;
+    /** LRU order: front = most recent. */
+    std::list<TlbEntry> lru_;
+    std::unordered_map<std::uint64_t, std::list<TlbEntry>::iterator>
+        index_;
+    StatGroup stats_;
+};
+
+} // namespace ctamem::paging
+
+#endif // CTAMEM_PAGING_TLB_HH

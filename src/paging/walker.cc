@@ -1,0 +1,107 @@
+#include "paging/walker.hh"
+
+namespace ctamem::paging {
+
+WalkResult
+PageWalker::walk(Pfn root, VAddr vaddr, AccessType access,
+                 Privilege privilege)
+{
+    stats_.counter("walks").increment();
+    const std::uint64_t capacity = module_.geometry().capacity();
+
+    WalkResult result;
+    result.writable = true;
+    result.user = true;
+
+    Pfn table = root;
+    for (unsigned level = pagingLevels; level >= 1; --level) {
+        const Addr entry_addr =
+            pfnToAddr(table) + tableIndex(vaddr, level) * 8;
+        if (entry_addr + 8 > capacity) {
+            result.fault = Fault::OutOfRange;
+            stats_.counter("faults").increment();
+            return result;
+        }
+        const Pte entry(module_.readU64(entry_addr));
+
+        if (!entry.present()) {
+            result.fault = Fault::NotPresent;
+            stats_.counter("faults").increment();
+            return result;
+        }
+
+        // Effective permissions are the AND across levels.
+        result.writable = result.writable && entry.writable();
+        result.user = result.user && entry.user();
+
+        const bool leaf =
+            level == 1 || (level <= 3 && entry.pageSize());
+        if (leaf) {
+            if (privilege == Privilege::User && !result.user) {
+                result.fault = Fault::Protection;
+                stats_.counter("faults").increment();
+                return result;
+            }
+            if (access == AccessType::Write && !result.writable) {
+                result.fault = Fault::Protection;
+                stats_.counter("faults").increment();
+                return result;
+            }
+            const std::uint64_t coverage = levelCoverage(level);
+            const Addr base = pfnToAddr(entry.pfn());
+            // Large-page leaves interpret the PFN field at their own
+            // granularity: low PFN bits select within the big page.
+            const Addr phys =
+                (base & ~(coverage - 1)) | (vaddr & (coverage - 1));
+            if (phys >= capacity) {
+                result.fault = Fault::OutOfRange;
+                stats_.counter("faults").increment();
+                return result;
+            }
+            result.phys = phys;
+            result.leafLevel = level;
+            stats_.counter("leafLevel" + std::to_string(level))
+                .increment();
+            return result;
+        }
+
+        table = entry.pfn();
+        if (pfnToAddr(table) >= capacity) {
+            result.fault = Fault::OutOfRange;
+            stats_.counter("faults").increment();
+            return result;
+        }
+    }
+    // Unreachable: level 1 always returns.
+    result.fault = Fault::NotPresent;
+    return result;
+}
+
+Addr
+PageWalker::entryAddress(Pfn root, VAddr vaddr, unsigned level)
+{
+    const std::uint64_t capacity = module_.geometry().capacity();
+    Pfn table = root;
+    for (unsigned current = pagingLevels; current >= 1; --current) {
+        const Addr entry_addr =
+            pfnToAddr(table) + tableIndex(vaddr, current) * 8;
+        if (current == level)
+            return entry_addr;
+        if (entry_addr + 8 > capacity)
+            return 0;
+        const Pte entry(module_.readU64(entry_addr));
+        if (!entry.present() || entry.pageSize())
+            return 0;
+        table = entry.pfn();
+    }
+    return 0;
+}
+
+Pte
+PageWalker::entryAt(Pfn root, VAddr vaddr, unsigned level)
+{
+    const Addr addr = entryAddress(root, vaddr, level);
+    return addr ? Pte(module_.readU64(addr)) : Pte(0);
+}
+
+} // namespace ctamem::paging

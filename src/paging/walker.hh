@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Hardware-semantics page-table walker.
+ *
+ * Reads every table entry from *simulated DRAM* and believes what it
+ * finds — exactly like an MMU.  A RowHammer flip in a PTE is thus
+ * architecturally visible: if a corrupted entry points into the
+ * page-table zone, the walker will happily translate user accesses
+ * into it (when CTA is off).
+ */
+
+#ifndef CTAMEM_PAGING_WALKER_HH
+#define CTAMEM_PAGING_WALKER_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/module.hh"
+#include "paging/pte.hh"
+
+namespace ctamem::paging {
+
+/** Kind of memory access being translated. */
+enum class AccessType : std::uint8_t { Read, Write, Execute };
+
+/** Privilege of the access. */
+enum class Privilege : std::uint8_t { User, Supervisor };
+
+/** Why a translation failed. */
+enum class Fault : std::uint8_t
+{
+    None,
+    NotPresent, //!< a non-present entry on the walk path
+    Protection, //!< U/S, R/W or NX check failed
+    OutOfRange, //!< an entry pointed past the end of physical memory
+};
+
+/** Result of one page walk. */
+struct WalkResult
+{
+    Fault fault = Fault::None;
+    Addr phys = 0;        //!< translated physical address
+    unsigned leafLevel = 1; //!< level the leaf was found at (1/2/3)
+    bool writable = false;
+    bool user = false;
+
+    bool ok() const { return fault == Fault::None; }
+};
+
+/** Walks 4-level x86-64 page tables held in a DramModule. */
+class PageWalker
+{
+  public:
+    explicit PageWalker(dram::DramModule &module) : module_(module) {}
+
+    /**
+     * Translate @p vaddr through the hierarchy rooted at @p root.
+     * Permission semantics follow x86: for user accesses every level
+     * must have U/S set; writes require R/W at every level.
+     */
+    WalkResult walk(Pfn root, VAddr vaddr, AccessType access,
+                    Privilege privilege);
+
+    /**
+     * Physical address of the level-@p level entry that @p vaddr's
+     * walk visits (no permission checks) — what an attack corrupts
+     * and what invariant checkers inspect.  Returns 0 on a
+     * non-present intermediate entry.
+     */
+    Addr entryAddress(Pfn root, VAddr vaddr, unsigned level);
+
+    /** Read the entry at @p level for @p vaddr (raw, unchecked). */
+    Pte entryAt(Pfn root, VAddr vaddr, unsigned level);
+
+    /** Counters: walks, faults, leafLevel1/2/3 hits. */
+    StatGroup &stats() { return stats_; }
+
+  private:
+    dram::DramModule &module_;
+    StatGroup stats_;
+};
+
+} // namespace ctamem::paging
+
+#endif // CTAMEM_PAGING_WALKER_HH

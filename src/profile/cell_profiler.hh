@@ -1,0 +1,94 @@
+/**
+ * @file
+ * System-level DRAM cell-type identification (Section 2.2 of the
+ * paper).
+ *
+ * Protocol: write logical '1' to every cell under test, disable
+ * refresh, wait longer than the retention time of most cells, and
+ * read back.  True-cells (charged = '1') leak to '0'; anti-cells
+ * (write of '1' put them in the discharged state) still read '1'.
+ * The profiler classifies each row by majority vote over sampled
+ * bytes, then extracts contiguous same-type regions — the input the
+ * CTA zone builder consumes.
+ */
+
+#ifndef CTAMEM_PROFILE_CELL_PROFILER_HH
+#define CTAMEM_PROFILE_CELL_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/cell_types.hh"
+#include "dram/module.hh"
+
+namespace ctamem::profile {
+
+/** A run of consecutive same-type rows within one bank. */
+struct RowRegion
+{
+    std::uint64_t bank;
+    std::uint64_t firstRow; //!< inclusive
+    std::uint64_t lastRow;  //!< inclusive
+    dram::CellType type;
+
+    std::uint64_t rows() const { return lastRow - firstRow + 1; }
+
+    bool operator==(const RowRegion &other) const = default;
+};
+
+/** Identifies true-cell/anti-cell regions via the retention protocol. */
+class CellTypeProfiler
+{
+  public:
+    /**
+     * @param module      the module under test (its data is destroyed
+     *                    in the profiled range — run at boot)
+     * @param settle_time unrefreshed wait; must exceed the retention
+     *                    of essentially all cells (default 5 minutes)
+     * @param sample_bytes bytes sampled per row for the majority vote
+     */
+    explicit CellTypeProfiler(dram::DramModule &module,
+                              SimTime settle_time = 300 * seconds,
+                              std::uint64_t sample_bytes = 64)
+        : module_(module), settleTime_(settle_time),
+          sampleBytes_(sample_bytes)
+    {}
+
+    /** Classify a single row of a bank using the full protocol. */
+    dram::CellType classifyRow(std::uint64_t bank, std::uint64_t row);
+
+    /**
+     * Classify rows [first_row, last_row] of @p bank in one
+     * disable-refresh pass and return per-row types.
+     */
+    std::vector<dram::CellType>
+    classifyRows(std::uint64_t bank, std::uint64_t first_row,
+                 std::uint64_t last_row);
+
+    /**
+     * Classify a row range and merge consecutive rows of equal type
+     * into regions.
+     */
+    std::vector<RowRegion>
+    profileRegions(std::uint64_t bank, std::uint64_t first_row,
+                   std::uint64_t last_row);
+
+    /** Only the true-cell regions of profileRegions(). */
+    std::vector<RowRegion>
+    trueCellRegions(std::uint64_t bank, std::uint64_t first_row,
+                    std::uint64_t last_row);
+
+  private:
+    /** Addresses sampled within a row (spread across the row). */
+    std::vector<Addr> sampleAddresses(std::uint64_t bank,
+                                      std::uint64_t row) const;
+
+    dram::DramModule &module_;
+    SimTime settleTime_;
+    std::uint64_t sampleBytes_;
+};
+
+} // namespace ctamem::profile
+
+#endif // CTAMEM_PROFILE_CELL_PROFILER_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Retention-time profiling: measures how long individual cells hold
+ * charge, using only read/write/refresh-control operations (the same
+ * system-level access a bootloader has).  Used by the cold-boot
+ * defense (Section 8) to select long-retention canary cells.
+ */
+
+#ifndef CTAMEM_PROFILE_RETENTION_PROFILER_HH
+#define CTAMEM_PROFILE_RETENTION_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/cell_types.hh"
+#include "dram/module.hh"
+
+namespace ctamem::profile {
+
+/** One profiled cell. */
+struct CellRetention
+{
+    Addr addr;
+    unsigned bit;
+    dram::CellType type;
+    /** Measured retention (lower bound if it exceeded the cap). */
+    SimTime retention;
+    bool exceededCap; //!< true when retention > the measurement cap
+};
+
+/** Measures per-cell retention via charge/wait/read binary search. */
+class RetentionProfiler
+{
+  public:
+    /**
+     * @param module the module under test (sampled cells' data is
+     *               destroyed)
+     * @param cap    longest wait the profiler will attempt
+     */
+    explicit RetentionProfiler(dram::DramModule &module,
+                               SimTime cap = 600 * seconds)
+        : module_(module), cap_(cap)
+    {}
+
+    /**
+     * Measure the retention of one cell at @p celsius by binary
+     * search over unrefreshed wait times: charge the cell, disable
+     * refresh, wait, read back; repeat narrowing the interval.
+     * Accurate to @p tolerance.
+     */
+    CellRetention measure(Addr addr, unsigned bit,
+                          double celsius = 20.0,
+                          SimTime tolerance = 50 * milliseconds);
+
+    /**
+     * Profile @p samples evenly spaced cells in [base, base+length)
+     * and return them sorted by retention, longest first.
+     */
+    std::vector<CellRetention>
+    profileRegion(Addr base, std::uint64_t length,
+                  std::uint64_t samples, double celsius = 20.0);
+
+    /**
+     * The @p count longest-retention cells of a region: the canary
+     * candidates for the cold-boot guard.
+     */
+    std::vector<CellRetention>
+    findCanaries(Addr base, std::uint64_t length, std::uint64_t count,
+                 std::uint64_t samples = 4096, double celsius = 20.0);
+
+  private:
+    /** True iff the cell decayed after @p wait unrefreshed. */
+    bool decaysWithin(Addr addr, unsigned bit, SimTime wait,
+                      double celsius);
+
+    dram::DramModule &module_;
+    SimTime cap_;
+};
+
+} // namespace ctamem::profile
+
+#endif // CTAMEM_PROFILE_RETENTION_PROFILER_HH

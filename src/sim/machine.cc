@@ -1,0 +1,119 @@
+#include "sim/machine.hh"
+
+#include "attack/algorithm1.hh"
+#include "attack/catt_bypass.hh"
+#include "attack/drammer.hh"
+#include "attack/projectzero.hh"
+#include "common/log.hh"
+
+namespace ctamem::sim {
+
+using defense::DefenseKind;
+
+const char *
+attackName(AttackKind kind)
+{
+    switch (kind) {
+      case AttackKind::ProjectZero: return "PTE spray (ProjectZero)";
+      case AttackKind::Drammer: return "Drammer templating";
+      case AttackKind::Algorithm1: return "Algorithm 1 (anti-CTA)";
+      case AttackKind::RemapBypass: return "row-remap bypass";
+      case AttackKind::DoubleOwnedBypass: return "double-owned bypass";
+    }
+    return "?";
+}
+
+Machine::Machine(const MachineConfig &config) : config_(config)
+{
+    kernel::KernelConfig kconfig;
+    kconfig.dram.capacity = config.memBytes;
+    kconfig.dram.rowBytes = config.rowBytes;
+    kconfig.dram.banks = config.banks;
+    kconfig.dram.cellMap =
+        dram::CellTypeMap::alternating(config.cellPeriod);
+    kconfig.dram.errors.pf = config.pf;
+    kconfig.dram.seed = config.seed;
+
+    switch (config.defense) {
+      case DefenseKind::None:
+      case DefenseKind::RefreshBoost:
+      case DefenseKind::Para:
+      case DefenseKind::Anvil:
+        kconfig.policy = kernel::AllocPolicy::Standard;
+        break;
+      case DefenseKind::Cta:
+        kconfig.policy = kernel::AllocPolicy::Cta;
+        kconfig.cta.ptpBytes = config.ptpBytes;
+        break;
+      case DefenseKind::CtaRestricted:
+        kconfig.policy = kernel::AllocPolicy::Cta;
+        kconfig.cta.ptpBytes = config.ptpBytes;
+        kconfig.cta.minIndicatorZeros = 2;
+        break;
+      case DefenseKind::Catt:
+        kconfig.policy = kernel::AllocPolicy::Catt;
+        break;
+      case DefenseKind::Zebram:
+        kconfig.policy = kernel::AllocPolicy::Zebram;
+        break;
+    }
+
+    kernel_ = std::make_unique<kernel::Kernel>(kconfig);
+
+    switch (config.defense) {
+      case DefenseKind::RefreshBoost:
+        observer_ = std::make_unique<defense::RefreshBoostObserver>(
+            config.refreshBoostFactor, config.seed ^ 0xb005);
+        break;
+      case DefenseKind::Para:
+        observer_ = std::make_unique<defense::ParaObserver>(
+            config.paraProbability, config.seed ^ 0x9a4a);
+        break;
+      case DefenseKind::Anvil:
+        observer_ = std::make_unique<defense::AnvilObserver>(
+            config.anvilThreshold);
+        break;
+      default:
+        break;
+    }
+
+    engine_ = std::make_unique<dram::RowHammerEngine>(
+        kernel_->dram(), observer_.get());
+}
+
+defense::AnvilObserver *
+Machine::anvil()
+{
+    if (config_.defense != DefenseKind::Anvil)
+        return nullptr;
+    return static_cast<defense::AnvilObserver *>(observer_.get());
+}
+
+attack::AttackResult
+Machine::attack(AttackKind kind)
+{
+    switch (kind) {
+      case AttackKind::ProjectZero:
+        return attack::runProjectZero(*kernel_, *engine_);
+      case AttackKind::Drammer: {
+        attack::DrammerConfig config;
+        config.arenaPages = 1024;
+        return attack::runDrammer(*kernel_, *engine_, config);
+      }
+      case AttackKind::Algorithm1: {
+        if (!kernel_->ptpZone()) {
+            // Algorithm 1 is defined against CTA machines only; on
+            // others report the strictly stronger ProjectZero result.
+            return attack::runProjectZero(*kernel_, *engine_);
+        }
+        return attack::runAlgorithm1(*kernel_, *engine_);
+      }
+      case AttackKind::RemapBypass:
+        return attack::runRemapBypass(*kernel_, *engine_);
+      case AttackKind::DoubleOwnedBypass:
+        return attack::runDoubleOwnedBypass(*kernel_, *engine_);
+    }
+    ctamem_panic("unknown attack kind");
+}
+
+} // namespace ctamem::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Machine assembly: one simulated computer = DRAM module + kernel
+ * (allocation policy) + optional memory-controller mitigation +
+ * hammer engine, plus convenience runners for every implemented
+ * attack — the level the benches and examples program against.
+ */
+
+#ifndef CTAMEM_SIM_MACHINE_HH
+#define CTAMEM_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "attack/result.hh"
+#include "cta/config.hh"
+#include "defense/observers.hh"
+#include "dram/hammer.hh"
+#include "kernel/kernel.hh"
+
+namespace ctamem::sim {
+
+/** The attacks the matrix benches run. */
+enum class AttackKind : std::uint8_t
+{
+    ProjectZero,     //!< probabilistic PTE spray [32]
+    Drammer,         //!< deterministic templating [37]
+    Algorithm1,      //!< the paper's CTA-tailored brute force
+    RemapBypass,     //!< row re-mapping vs address-space isolation
+    DoubleOwnedBypass, //!< device buffers inside the kernel zone
+};
+
+/** Human-readable attack name. */
+const char *attackName(AttackKind kind);
+
+/** Everything needed to build one machine. */
+struct MachineConfig
+{
+    std::uint64_t memBytes = 256 * MiB;
+    std::uint64_t rowBytes = 128 * KiB;
+    std::uint64_t banks = 1;
+    std::uint64_t cellPeriod = 512; //!< alternating stripe, in rows
+    double pf = 1e-3;               //!< boosted for simulation scale
+    std::uint64_t seed = 1234;
+
+    defense::DefenseKind defense = defense::DefenseKind::None;
+    std::uint64_t ptpBytes = 4 * MiB;     //!< for the CTA defenses
+    unsigned refreshBoostFactor = 4;      //!< for RefreshBoost
+    double paraProbability = 0.001;       //!< for PARA
+    std::uint64_t anvilThreshold = 1'000'000; //!< for ANVIL
+};
+
+/** One simulated computer. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    kernel::Kernel &kernel() { return *kernel_; }
+    dram::DramModule &dram() { return kernel_->dram(); }
+    dram::RowHammerEngine &engine() { return *engine_; }
+    const MachineConfig &config() const { return config_; }
+    defense::DefenseKind defense() const { return config_.defense; }
+
+    /** The mitigation observer, when the defense has one. */
+    defense::ObserverDefense *observer() { return observer_.get(); }
+
+    /** The ANVIL detector, when that defense is active. */
+    defense::AnvilObserver *anvil();
+
+    /** Run one attack against this machine. */
+    attack::AttackResult attack(AttackKind kind);
+
+  private:
+    MachineConfig config_;
+    std::unique_ptr<kernel::Kernel> kernel_;
+    std::unique_ptr<defense::ObserverDefense> observer_;
+    std::unique_ptr<dram::RowHammerEngine> engine_;
+};
+
+} // namespace ctamem::sim
+
+#endif // CTAMEM_SIM_MACHINE_HH

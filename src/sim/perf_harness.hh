@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 4 harness: run the workload suites on identical machines
+ * that differ only in defense policy and report per-benchmark score
+ * deltas (the paper reports runtime deltas within measurement noise
+ * of zero).
+ */
+
+#ifndef CTAMEM_SIM_PERF_HARNESS_HH
+#define CTAMEM_SIM_PERF_HARNESS_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "defense/observers.hh"
+#include "sim/machine.hh"
+#include "sim/workload.hh"
+
+namespace ctamem::sim {
+
+/** One Table 4 line. */
+struct PerfRow
+{
+    std::string suite;
+    std::string name;
+    double baselineScore;
+    double protectedScore;
+    double wallDeltaPct;   //!< host wall-clock delta (noisy)
+
+    /** Modeled-score delta: protected vs baseline, percent. */
+    double
+    deltaPct() const
+    {
+        return baselineScore > 0.0 ?
+                   (protectedScore - baselineScore) / baselineScore *
+                       100.0 :
+                   0.0;
+    }
+};
+
+/** Page-table accounting after a suite run (Section 6.3 argument). */
+struct PtFootprint
+{
+    std::uint64_t peakTableBytes = 0;
+    std::uint64_t ptpCapacityBytes = 0; //!< 0 when no ZONE_PTP
+    std::uint64_t pteAllocFailures = 0;
+    std::uint64_t ptReclaims = 0; //!< §6.3 pressure events
+};
+
+/**
+ * Run @p specs on two machines built from @p base that differ only
+ * in the defense, returning one row per workload.  @p footprint, if
+ * non-null, receives the protected machine's page-table accounting.
+ */
+std::vector<PerfRow>
+comparePolicies(const MachineConfig &base,
+                const std::vector<WorkloadSpec> &specs,
+                defense::DefenseKind baseline,
+                defense::DefenseKind protected_kind,
+                PtFootprint *footprint = nullptr);
+
+/** Print rows in the paper's Table 4 shape. */
+void printPerfTable(std::ostream &os, const std::string &title,
+                    const std::vector<PerfRow> &rows);
+
+} // namespace ctamem::sim
+
+#endif // CTAMEM_SIM_PERF_HARNESS_HH

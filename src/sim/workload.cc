@@ -1,0 +1,193 @@
+#include "sim/workload.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace ctamem::sim {
+
+using kernel::Kernel;
+
+std::vector<WorkloadSpec>
+spec2006Suite()
+{
+    // Published SPEC CPU2006 memory footprints (Henning, CAN 2007),
+    // scaled down 16x to exercise the simulated machines in seconds.
+    // {suite, name, footprint, pattern, writes, iters, churn, file}
+    return {
+        {"SPEC2006", "perlbench", 36 * MiB, AccessPattern::Random,
+         0.40, 2, 0.10, false},
+        {"SPEC2006", "bzip2", 54 * MiB, AccessPattern::Sequential,
+         0.50, 2, 0.00, true},
+        {"SPEC2006", "gcc", 56 * MiB, AccessPattern::Random, 0.45, 2,
+         0.20, false},
+        {"SPEC2006", "mcf", 64 * MiB, AccessPattern::Random, 0.30, 2,
+         0.00, false},
+        {"SPEC2006", "gobmk", 2 * MiB, AccessPattern::Random, 0.35,
+         8, 0.00, false},
+        {"SPEC2006", "hmmer", 4 * MiB, AccessPattern::Strided, 0.25,
+         8, 0.00, false},
+        {"SPEC2006", "sjeng", 11 * MiB, AccessPattern::Random, 0.30,
+         4, 0.00, false},
+        {"SPEC2006", "libquantum", 6 * MiB,
+         AccessPattern::Sequential, 0.50, 6, 0.00, false},
+        {"SPEC2006", "h264ref", 4 * MiB, AccessPattern::Strided,
+         0.40, 8, 0.00, true},
+        {"SPEC2006", "omnetpp", 11 * MiB, AccessPattern::Random,
+         0.45, 4, 0.10, false},
+        {"SPEC2006", "astar", 20 * MiB, AccessPattern::Random, 0.35,
+         3, 0.00, false},
+        {"SPEC2006", "xalancbmk", 27 * MiB, AccessPattern::Random,
+         0.40, 2, 0.15, false},
+    };
+}
+
+std::vector<WorkloadSpec>
+phoronixSuite()
+{
+    return {
+        {"Phoronix", "unpack-linux", 24 * MiB,
+         AccessPattern::Sequential, 0.70, 1, 0.50, true},
+        {"Phoronix", "postmark", 16 * MiB, AccessPattern::Random,
+         0.60, 2, 0.40, true},
+        {"Phoronix", "ramspeed:INT", 32 * MiB,
+         AccessPattern::Sequential, 0.50, 4, 0.00, false},
+        {"Phoronix", "ramspeed:FP", 32 * MiB,
+         AccessPattern::Sequential, 0.50, 4, 0.00, false},
+        {"Phoronix", "stream:Copy", 24 * MiB,
+         AccessPattern::Sequential, 0.50, 4, 0.00, false},
+        {"Phoronix", "stream:Scale", 24 * MiB,
+         AccessPattern::Sequential, 0.50, 4, 0.00, false},
+        {"Phoronix", "stream:Triad", 24 * MiB,
+         AccessPattern::Sequential, 0.34, 4, 0.00, false},
+        {"Phoronix", "stream:Add", 24 * MiB,
+         AccessPattern::Sequential, 0.34, 4, 0.00, false},
+        {"Phoronix", "cachebench:Read", 8 * MiB,
+         AccessPattern::Strided, 0.00, 8, 0.00, false},
+        {"Phoronix", "cachebench:Write", 8 * MiB,
+         AccessPattern::Strided, 1.00, 8, 0.00, false},
+        {"Phoronix", "cachebench:Modify", 8 * MiB,
+         AccessPattern::Strided, 0.50, 8, 0.00, false},
+        {"Phoronix", "compress-7zip", 20 * MiB,
+         AccessPattern::Random, 0.45, 3, 0.05, true},
+        {"Phoronix", "openssl", 1 * MiB, AccessPattern::Strided,
+         0.30, 32, 0.00, false},
+        {"Phoronix", "pybench", 6 * MiB, AccessPattern::Random, 0.40,
+         6, 0.25, false},
+        {"Phoronix", "phpbench", 8 * MiB, AccessPattern::Random,
+         0.40, 5, 0.25, false},
+    };
+}
+
+namespace {
+
+/** Event costs (ns) for the modeled score — identical across
+ *  policies, so only event-count differences can move a score. */
+constexpr double touchCostNs = 6.0;
+constexpr double faultCostNs = 1800.0;
+constexpr double tlbMissCostNs = 90.0;
+constexpr double mmapCostNs = 900.0;
+constexpr double oomCostNs = 50'000.0;
+
+} // namespace
+
+WorkloadMetrics
+runWorkload(Kernel &kernel, const WorkloadSpec &spec,
+            std::uint64_t seed)
+{
+    const int pid = kernel.createProcess(spec.name);
+    Rng rng(stableHash(seed, 0x3017));
+    const paging::PageFlags rw{true, false, false};
+
+    // Footprint is mapped as 2 MiB chunks (one leaf table each).
+    constexpr std::uint64_t chunk = 2 * MiB;
+    const std::uint64_t chunks =
+        std::max<std::uint64_t>(1, spec.footprintBytes / chunk);
+
+    const std::uint64_t faults0 = kernel.stats().value("pageFaults");
+    const std::uint64_t pte0 = kernel.stats().value("pteAllocs");
+    const std::uint64_t oom0 = kernel.stats().value("oomFaults") +
+                               kernel.stats().value("pteAllocFaults");
+    const std::uint64_t mmaps0 = kernel.stats().value("mmaps");
+    const std::uint64_t miss0 =
+        kernel.mmu().tlb().stats().value("misses");
+    const std::uint64_t walks0 =
+        kernel.mmu().walker().stats().value("walks");
+
+    std::vector<VAddr> bases;
+    std::vector<int> fds;
+    bases.reserve(chunks);
+    for (std::uint64_t i = 0; i < chunks; ++i) {
+        VAddr base = 0;
+        if (spec.fileBacked) {
+            const int fd = kernel.createFile(chunk);
+            fds.push_back(fd);
+            base = kernel.mmapFile(pid, fd, chunk, rw);
+        } else {
+            base = kernel.mmapAnon(pid, chunk, rw);
+        }
+        if (base == 0)
+            fatal("workload ", spec.name, ": mmap failed");
+        bases.push_back(base);
+    }
+
+    WorkloadMetrics metrics;
+    metrics.peakTableBytes = kernel.pageTableBytes();
+    const std::uint64_t pages_per_chunk = chunk / pageSize;
+    for (unsigned pass = 0; pass < spec.iterations; ++pass) {
+        for (std::uint64_t c = 0; c < chunks; ++c) {
+            // Touch one word per page of the chunk per the pattern.
+            for (std::uint64_t p = 0; p < pages_per_chunk; ++p) {
+                std::uint64_t page = p;
+                if (spec.pattern == AccessPattern::Random)
+                    page = rng.below(pages_per_chunk);
+                else if (spec.pattern == AccessPattern::Strided)
+                    page = (p * 7) % pages_per_chunk;
+                const VAddr va =
+                    bases[c] + page * pageSize + (p % 512) * 8;
+                const bool write =
+                    rng.uniform() < spec.writeFraction;
+                const bool ok = write ?
+                    static_cast<bool>(
+                        kernel.writeUser(pid, va, p ^ pass)) :
+                    static_cast<bool>(kernel.readUser(pid, va));
+                if (ok)
+                    ++metrics.touches;
+            }
+            // Allocation churn: unmap and remap some chunks.
+            if (spec.churn > 0.0 && rng.uniform() < spec.churn) {
+                kernel.munmap(pid, bases[c]);
+                bases[c] = spec.fileBacked ?
+                    kernel.mmapFile(pid, fds[c % fds.size()], chunk,
+                                    rw) :
+                    kernel.mmapAnon(pid, chunk, rw);
+                if (bases[c] == 0)
+                    fatal("workload ", spec.name, ": remap failed");
+            }
+        }
+    }
+
+    metrics.peakTableBytes =
+        std::max(metrics.peakTableBytes, kernel.pageTableBytes());
+    metrics.pageFaults = kernel.stats().value("pageFaults") - faults0;
+    metrics.pteAllocs = kernel.stats().value("pteAllocs") - pte0;
+    metrics.oomEvents = kernel.stats().value("oomFaults") +
+                        kernel.stats().value("pteAllocFaults") - oom0;
+    metrics.mmapCalls = kernel.stats().value("mmaps") - mmaps0;
+    metrics.tlbMisses =
+        kernel.mmu().tlb().stats().value("misses") - miss0;
+    metrics.walks =
+        kernel.mmu().walker().stats().value("walks") - walks0;
+
+    metrics.modeledSeconds =
+        (static_cast<double>(metrics.touches) * touchCostNs +
+         static_cast<double>(metrics.pageFaults) * faultCostNs +
+         static_cast<double>(metrics.tlbMisses) * tlbMissCostNs +
+         static_cast<double>(metrics.mmapCalls) * mmapCostNs +
+         static_cast<double>(metrics.oomEvents) * oomCostNs) *
+        1e-9;
+
+    kernel.exitProcess(pid);
+    return metrics;
+}
+
+} // namespace ctamem::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Synthetic workload suite for the Table 4 reproduction.
+ *
+ * The paper runs SPEC CPU2006 and Phoronix on two physical machines
+ * and reports per-benchmark runtime deltas with CTA on/off.  We have
+ * no x86 silicon, so each benchmark becomes a synthetic memory
+ * workload parameterized by its published memory footprint and a
+ * coarse access pattern, executed on the simulated kernel: real
+ * mmaps, real demand faults, real page-table allocations, real TLB
+ * behaviour.  The score model charges time for the events the
+ * allocator change could possibly affect, so any CTA overhead would
+ * surface as a score delta.
+ */
+
+#ifndef CTAMEM_SIM_WORKLOAD_HH
+#define CTAMEM_SIM_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hh"
+
+namespace ctamem::sim {
+
+/** Coarse access pattern of a workload. */
+enum class AccessPattern : std::uint8_t
+{
+    Sequential, //!< streaming (stream, ramspeed, bzip2)
+    Strided,    //!< regular strides (h264ref, cachebench)
+    Random,     //!< pointer chasing (mcf, omnetpp, xalancbmk)
+};
+
+/** One synthetic benchmark. */
+struct WorkloadSpec
+{
+    std::string suite;   //!< "SPEC2006" or "Phoronix"
+    std::string name;
+    std::uint64_t footprintBytes;
+    AccessPattern pattern;
+    double writeFraction;   //!< fraction of touches that store
+    unsigned iterations;    //!< full passes over the footprint
+    double churn;           //!< fraction of chunks remapped per pass
+    bool fileBacked;        //!< mmap of files vs anonymous memory
+};
+
+/** The SPEC CPU2006 dozen used in Table 4 (footprints scaled 16x
+ *  down so suites run on the simulated 256 MiB machines). */
+std::vector<WorkloadSpec> spec2006Suite();
+
+/** The Phoronix selection used in Table 4. */
+std::vector<WorkloadSpec> phoronixSuite();
+
+/** What one workload run observed. */
+struct WorkloadMetrics
+{
+    std::uint64_t touches = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t pteAllocs = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t mmapCalls = 0;
+    std::uint64_t oomEvents = 0;
+    std::uint64_t peakTableBytes = 0;
+    double modeledSeconds = 0.0;
+
+    /** Synthetic benchmark score (work per modeled second). */
+    double
+    score() const
+    {
+        return modeledSeconds > 0.0 ?
+                   static_cast<double>(touches) / modeledSeconds :
+                   0.0;
+    }
+};
+
+/** Run one workload in a fresh process of @p kernel. */
+WorkloadMetrics runWorkload(kernel::Kernel &kernel,
+                            const WorkloadSpec &spec,
+                            std::uint64_t seed = 7);
+
+} // namespace ctamem::sim
+
+#endif // CTAMEM_SIM_WORKLOAD_HH

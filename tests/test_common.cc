@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit operations, RNG and
+ * stable hashing, combinatorics, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitops.hh"
+#include "common/combinatorics.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ctamem {
+namespace {
+
+TEST(Types, PageConversions)
+{
+    EXPECT_EQ(addrToPfn(0), 0u);
+    EXPECT_EQ(addrToPfn(4095), 0u);
+    EXPECT_EQ(addrToPfn(4096), 1u);
+    EXPECT_EQ(pfnToAddr(3), 3u * 4096);
+    EXPECT_EQ(pageAlignDown(0x1234), 0x1000u);
+    EXPECT_EQ(pageAlignUp(0x1234), 0x2000u);
+    EXPECT_EQ(pageAlignUp(0x1000), 0x1000u);
+}
+
+TEST(Bitops, BitsExtractInsert)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(~0ULL, 7, 0, 0), ~0ULL << 8);
+    EXPECT_TRUE(bit(0x80, 7));
+    EXPECT_FALSE(bit(0x80, 6));
+}
+
+TEST(Bitops, PopcountAndHamming)
+{
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(0xff), 8u);
+    EXPECT_EQ(hammingDistance(0b1010, 0b0101), 4u);
+    EXPECT_EQ(hammingDistance(42, 42), 0u);
+}
+
+TEST(Bitops, PowersAndLogs)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(4096), 12u);
+    EXPECT_EQ(log2Ceil(4097), 13u);
+    EXPECT_EQ(log2Ceil(1), 0u);
+}
+
+TEST(Rng, StableHashIsStable)
+{
+    EXPECT_EQ(stableHash(1, 2, 3), stableHash(1, 2, 3));
+    EXPECT_NE(stableHash(1, 2, 3), stableHash(1, 2, 4));
+    EXPECT_NE(stableHash(1, 2, 3), stableHash(2, 2, 3));
+}
+
+TEST(Rng, Hash01Range)
+{
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        const double u = hash01(7, i);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, Hash01IsRoughlyUniform)
+{
+    unsigned below_half = 0;
+    const unsigned trials = 20000;
+    for (std::uint64_t i = 0; i < trials; ++i)
+        if (hash01(13, i) < 0.5)
+            ++below_half;
+    EXPECT_NEAR(below_half, trials / 2, trials / 20);
+}
+
+TEST(Rng, SequentialDeterminism)
+{
+    Rng a(99);
+    Rng b(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.below(17);
+        EXPECT_LT(v, 17u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 17u); // all residues hit
+}
+
+TEST(Combinatorics, Choose)
+{
+    EXPECT_NEAR(choose(8, 0), 1.0, 1e-9);
+    EXPECT_NEAR(choose(8, 1), 8.0, 1e-9);
+    EXPECT_NEAR(choose(8, 2), 28.0, 1e-9);
+    EXPECT_NEAR(choose(8, 8), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(choose(3, 5), 0.0);
+}
+
+TEST(Combinatorics, BinomialTermMatchesDirectEvaluation)
+{
+    const double p_up = 2e-7;
+    const double p_down = 9.98e-5;
+    const double direct =
+        8.0 * p_up * std::pow(1.0 - p_down, 7);
+    EXPECT_NEAR(binomialTerm(8, 1, p_up, p_down), direct,
+                direct * 1e-12);
+}
+
+TEST(Combinatorics, PaperHeadlineExploitability)
+{
+    // Section 5: Pf = 1e-4, P01 = 0.2% -> P_exploitable = 1.6e-6 for
+    // n = 8 (8 GiB / 32 MiB ZONE_PTP).
+    const double p = binomialTail(8, 1, 1e-4 * 0.002, 1e-4 * 0.998);
+    EXPECT_NEAR(p, 1.6e-6, 0.05e-6);
+}
+
+TEST(Combinatorics, TailIsMonotoneInMinFlips)
+{
+    const double p_up = 1e-4;
+    const double p_down = 1e-4;
+    double prev = 1.0;
+    for (unsigned min_flips = 0; min_flips <= 8; ++min_flips) {
+        const double tail = binomialTail(8, min_flips, p_up, p_down);
+        EXPECT_LE(tail, prev + 1e-18);
+        prev = tail;
+    }
+}
+
+TEST(Combinatorics, AtLeastOne)
+{
+    EXPECT_DOUBLE_EQ(atLeastOne(0.0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(atLeastOne(1.0, 5), 1.0);
+    EXPECT_NEAR(atLeastOne(0.5, 2), 0.75, 1e-12);
+    // Stability for tiny p, huge trial count.
+    EXPECT_NEAR(atLeastOne(1e-12, 1e6), 1e-6, 1e-9);
+}
+
+TEST(Stats, CounterAndSamples)
+{
+    Counter c;
+    c.increment();
+    c.increment(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+
+    SampleStat s;
+    s.record(1.0);
+    s.record(3.0);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, Histogram)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.record(-1.0);
+    h.record(0.0);
+    h.record(5.5);
+    h.record(10.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[5], 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Stats, StatGroup)
+{
+    StatGroup g;
+    g.counter("a").increment(2);
+    EXPECT_EQ(g.value("a"), 2u);
+    EXPECT_EQ(g.value("missing"), 0u);
+    g.reset();
+    EXPECT_EQ(g.value("a"), 0u);
+}
+
+TEST(Log, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom ", 42), FatalError);
+    try {
+        fatal("code=", 7);
+    } catch (const FatalError &err) {
+        EXPECT_STREQ(err.what(), "code=7");
+    }
+}
+
+} // namespace
+} // namespace ctamem

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests of the Section 8 extensions: permission vectors in
+ * true-cells, the cold-boot guard, and the hamming-weight shield.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "dram/hammer.hh"
+#include "dram/module.hh"
+#include "ext/coldboot.hh"
+#include "ext/hamming_shield.hh"
+#include "ext/permission_vector.hh"
+
+namespace ctamem::ext {
+namespace {
+
+using dram::CellType;
+using dram::CellTypeMap;
+using dram::DramConfig;
+using dram::DramModule;
+
+DramConfig
+extConfig(double pf = 5e-3)
+{
+    DramConfig config;
+    config.capacity = 64 * MiB;
+    config.rowBytes = 128 * KiB;
+    config.banks = 1;
+    config.cellMap = CellTypeMap::alternating(4);
+    config.errors.pf = pf;
+    config.seed = 99;
+    return config;
+}
+
+/** Base address of row @p row. */
+Addr
+rowAddr(std::uint64_t row)
+{
+    return row * 128 * KiB;
+}
+
+TEST(PermissionVector, GrantDenyRoundTrip)
+{
+    DramModule module(extConfig());
+    PermissionVector vec(module, rowAddr(1), 64);
+    EXPECT_FALSE(vec.allowed(5));
+    vec.grant(5);
+    EXPECT_TRUE(vec.allowed(5));
+    vec.deny(5);
+    EXPECT_FALSE(vec.allowed(5));
+    EXPECT_EQ(vec.cellType(), CellType::True);
+}
+
+TEST(PermissionVector, TrueCellPlacementEnforced)
+{
+    DramModule module(extConfig());
+    // Row 5 is anti-cells (period 4).
+    EXPECT_THROW(PermissionVector(module, rowAddr(5), 64),
+                 ctamem::FatalError);
+    // Allowed when the caller opts out (vulnerable baseline).
+    PermissionVector vulnerable(module, rowAddr(5), 64, false);
+    EXPECT_EQ(vulnerable.cellType(), CellType::Anti);
+}
+
+TEST(PermissionVector, HammeringNeverEscalatesInTrueCells)
+{
+    DramModule module(extConfig(2e-2));
+    dram::RowHammerEngine engine(module);
+    PermissionVector vec(module, rowAddr(1), 4096);
+    std::vector<bool> reference(4096);
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        if (i % 3 == 0) {
+            vec.grant(i);
+            reference[i] = true;
+        }
+    }
+    engine.hammerDoubleSided(0, 1);
+    const auto report = vec.audit(reference);
+    EXPECT_EQ(report.deniedToAllowed, 0u);
+    EXPECT_GT(report.allowedToDenied, 0u); // availability only
+}
+
+TEST(PermissionVector, AntiCellsLeakPermissions)
+{
+    DramModule module(extConfig(2e-2));
+    dram::RowHammerEngine engine(module);
+    PermissionVector vec(module, rowAddr(5), 4096, false);
+    std::vector<bool> reference(4096);
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        if (i % 3 == 0) {
+            vec.grant(i);
+            reference[i] = true;
+        }
+    }
+    engine.hammerDoubleSided(0, 5);
+    const auto report = vec.audit(reference);
+    EXPECT_GT(report.deniedToAllowed, 0u); // confidentiality broken
+}
+
+TEST(ColdBoot, ProceedsAfterLongPowerOff)
+{
+    DramModule module(extConfig());
+    ColdBootGuard guard = ColdBootGuard::withProfiledCanaries(
+        module, rowAddr(1), 4096, 8);
+    guard.arm();
+    EXPECT_EQ(guard.check(), BootDecision::Halt); // just armed
+    module.powerOff(30 * 60 * seconds);           // long shutdown
+    EXPECT_EQ(guard.check(), BootDecision::Proceed);
+}
+
+TEST(ColdBoot, HaltsOnQuickWarmReboot)
+{
+    DramModule module(extConfig());
+    ColdBootGuard guard = ColdBootGuard::withProfiledCanaries(
+        module, rowAddr(1), 4096, 8);
+    guard.arm();
+    module.powerOff(50 * milliseconds); // yank-and-replug
+    EXPECT_EQ(guard.check(), BootDecision::Halt);
+}
+
+TEST(ColdBoot, HaltsOnChilledModule)
+{
+    DramModule module(extConfig());
+    ColdBootGuard guard = ColdBootGuard::withProfiledCanaries(
+        module, rowAddr(1), 4096, 8);
+    guard.arm();
+    // An off-time that decays everything warm keeps canaries (and
+    // secrets) alive at -40C: the attack scenario must be caught.
+    module.powerOff(60 * seconds, -40.0);
+    EXPECT_EQ(guard.check(), BootDecision::Halt);
+}
+
+TEST(ColdBoot, PaperLiteralModeIsInverted)
+{
+    DramModule module(extConfig());
+    ColdBootGuard guard = ColdBootGuard::withProfiledCanaries(
+        module, rowAddr(1), 4096, 8);
+    guard.arm();
+    module.powerOff(30 * 60 * seconds);
+    EXPECT_EQ(guard.check(), BootDecision::Proceed);
+    EXPECT_EQ(guard.paperLiteral(), BootDecision::Halt);
+}
+
+TEST(HammingShield, CleanDataChecksClean)
+{
+    DramModule module(extConfig());
+    // Data in true row 1, weights in anti row 5.
+    HammingShield shield(module, rowAddr(1), rowAddr(5), 512);
+    for (std::uint64_t i = 0; i < 512; ++i)
+        shield.storeWord(i, stableHash(1, i));
+    const auto report = shield.check();
+    EXPECT_EQ(report.clean, 512u);
+    EXPECT_EQ(report.faults, 0u);
+}
+
+TEST(HammingShield, DetectsInjectedDownFlips)
+{
+    DramModule module(extConfig());
+    HammingShield shield(module, rowAddr(1), rowAddr(5), 512);
+    for (std::uint64_t i = 0; i < 512; ++i)
+        shield.storeWord(i, ~0ULL);
+    // Manually clear a bit (what a true-cell fault does).
+    module.store().writeBit(rowAddr(1) + 10 * 8, 3, false);
+    EXPECT_EQ(shield.checkWord(10),
+              HammingShield::WordState::FaultDetected);
+    const auto report = shield.check();
+    EXPECT_EQ(report.faults, 1u);
+    EXPECT_EQ(report.clean, 511u);
+}
+
+TEST(HammingShield, DetectsHammerFaults)
+{
+    DramModule module(extConfig(2e-2));
+    dram::RowHammerEngine engine(module);
+    HammingShield shield(module, rowAddr(1), rowAddr(5), 512);
+    for (std::uint64_t i = 0; i < 512; ++i)
+        shield.storeWord(i, stableHash(2, i));
+    const auto flips = engine.hammerDoubleSided(0, 1);
+    ASSERT_GT(flips.flips10, 0u);
+    const auto report = shield.check();
+    EXPECT_GT(report.faults, 0u);
+}
+
+TEST(HammingShield, WeightGrowthIsConservativelyAFault)
+{
+    // Anti-cell decay can only *grow* the stored weight byte, which
+    // is indistinguishable from data decay — conservatively flagged
+    // as a fault (a false positive the paper accepts).
+    DramModule module(extConfig());
+    HammingShield shield(module, rowAddr(1), rowAddr(5), 512);
+    shield.storeWord(7, 0x0f0f);
+    const Addr weight_addr = rowAddr(5) + 7;
+    module.writeByte(weight_addr,
+                     module.readByte(weight_addr) | 0x20);
+    EXPECT_EQ(shield.checkWord(7),
+              HammingShield::WordState::FaultDetected);
+}
+
+TEST(HammingShield, RareUpwardDataFlipIsSuspicious)
+{
+    // A wrong-direction (0->1) flip in the data raises the observed
+    // weight above the stored one.
+    DramModule module(extConfig());
+    HammingShield shield(module, rowAddr(1), rowAddr(5), 512);
+    shield.storeWord(9, 0x00ff);
+    module.store().writeBit(rowAddr(1) + 9 * 8 + 4, 2, true);
+    EXPECT_EQ(shield.checkWord(9),
+              HammingShield::WordState::Suspicious);
+}
+
+TEST(HammingShield, CellPlacementEnforced)
+{
+    DramModule module(extConfig());
+    // Data in anti cells: rejected.
+    EXPECT_THROW(HammingShield(module, rowAddr(5), rowAddr(6), 64),
+                 ctamem::FatalError);
+    // Overlapping regions: rejected.
+    EXPECT_THROW(
+        HammingShield(module, rowAddr(1), rowAddr(1) + 256, 64),
+        ctamem::FatalError);
+}
+
+} // namespace
+} // namespace ctamem::ext

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the sim layer: machine assembly per defense, the
+ * attack-vs-defense matrix, the workload runner, and the Table 4
+ * performance harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "sim/perf_harness.hh"
+#include "sim/workload.hh"
+
+namespace ctamem::sim {
+namespace {
+
+using defense::DefenseKind;
+
+TEST(Machine, DefensesMapToPolicies)
+{
+    MachineConfig config;
+
+    config.defense = DefenseKind::Cta;
+    Machine cta(config);
+    EXPECT_NE(cta.kernel().ptpZone(), nullptr);
+    EXPECT_EQ(cta.observer(), nullptr);
+
+    config.defense = DefenseKind::Para;
+    Machine para(config);
+    EXPECT_EQ(para.kernel().ptpZone(), nullptr);
+    ASSERT_NE(para.observer(), nullptr);
+    EXPECT_STREQ(para.observer()->name(), "PARA");
+
+    config.defense = DefenseKind::Anvil;
+    Machine anvil(config);
+    ASSERT_NE(anvil.anvil(), nullptr);
+}
+
+TEST(Machine, CtaRestrictedCarvesReservedZone)
+{
+    MachineConfig config;
+    config.defense = DefenseKind::CtaRestricted;
+    Machine machine(config);
+    EXPECT_NE(machine.kernel().phys().zone(mm::ZoneId::KernelRsv),
+              nullptr);
+}
+
+TEST(Machine, AttackMatrixHeadline)
+{
+    // The headline contrast: spray attack wins on none, loses on CTA.
+    MachineConfig config;
+    config.defense = DefenseKind::None;
+    Machine vulnerable(config);
+    EXPECT_EQ(vulnerable.attack(AttackKind::ProjectZero).outcome,
+              attack::Outcome::Escalated);
+
+    config.defense = DefenseKind::Cta;
+    Machine protected_machine(config);
+    EXPECT_NE(protected_machine.attack(AttackKind::ProjectZero).outcome,
+              attack::Outcome::Escalated);
+}
+
+TEST(Workload, SuitesHaveTable4Shape)
+{
+    EXPECT_EQ(spec2006Suite().size(), 12u);  // Table 4 SPEC rows
+    EXPECT_EQ(phoronixSuite().size(), 15u);  // Table 4 Phoronix rows
+}
+
+TEST(Workload, RunProducesActivity)
+{
+    MachineConfig config;
+    Machine machine(config);
+    const WorkloadSpec spec = spec2006Suite().at(4); // gobmk, small
+    const WorkloadMetrics metrics =
+        runWorkload(machine.kernel(), spec);
+    EXPECT_GT(metrics.touches, 0u);
+    EXPECT_GT(metrics.pageFaults, 0u);
+    EXPECT_GT(metrics.pteAllocs, 0u);
+    EXPECT_GT(metrics.score(), 0.0);
+    EXPECT_EQ(metrics.oomEvents, 0u);
+    // Process cleaned up after itself.
+    EXPECT_EQ(machine.kernel().processCount(), 0u);
+}
+
+TEST(Workload, DeterministicGivenSeed)
+{
+    MachineConfig config;
+    const WorkloadSpec spec = phoronixSuite().at(8); // cachebench
+    Machine a(config);
+    Machine b(config);
+    const WorkloadMetrics ma = runWorkload(a.kernel(), spec, 5);
+    const WorkloadMetrics mb = runWorkload(b.kernel(), spec, 5);
+    EXPECT_EQ(ma.touches, mb.touches);
+    EXPECT_EQ(ma.pageFaults, mb.pageFaults);
+    EXPECT_DOUBLE_EQ(ma.score(), mb.score());
+}
+
+TEST(PerfHarness, CtaOverheadIsZeroOnModeledEvents)
+{
+    // The Table 4 claim: identical event counts => identical scores.
+    MachineConfig config;
+    config.ptpBytes = 4 * MiB;
+    std::vector<WorkloadSpec> quick{spec2006Suite().at(4),
+                                    spec2006Suite().at(5),
+                                    phoronixSuite().at(12)};
+    PtFootprint footprint;
+    const std::vector<PerfRow> rows =
+        comparePolicies(config, quick, DefenseKind::None,
+                        DefenseKind::Cta, &footprint);
+    ASSERT_EQ(rows.size(), quick.size());
+    for (const PerfRow &row : rows) {
+        EXPECT_NEAR(row.deltaPct(), 0.0, 0.5)
+            << row.name << ": modeled overhead should be ~0%";
+    }
+    // Section 6.3: the page-table footprint fits the 4 MiB zone.
+    EXPECT_GT(footprint.peakTableBytes, 0u);
+    EXPECT_LT(footprint.peakTableBytes, footprint.ptpCapacityBytes);
+    EXPECT_EQ(footprint.pteAllocFailures, 0u);
+}
+
+TEST(PerfHarness, UndersizedPtpShowsPressure)
+{
+    // When the zone is too small for the workload's tables, pressure
+    // events appear — the §6.3 swapping caveat, observable.
+    MachineConfig config;
+    config.ptpBytes = 128 * KiB;
+    std::vector<WorkloadSpec> heavy{spec2006Suite().at(3)}; // mcf
+    PtFootprint footprint;
+    const std::vector<PerfRow> rows = comparePolicies(
+        config, heavy, DefenseKind::None, DefenseKind::Cta,
+        &footprint);
+    // Reclaim absorbs the pressure (no hard failures)...
+    EXPECT_GT(footprint.ptReclaims, 0u);
+    EXPECT_EQ(footprint.pteAllocFailures, 0u);
+    // ...at a measurable cost: evicted regions re-fault, so the
+    // protected machine's modeled score drops.
+    EXPECT_LT(rows[0].deltaPct(), -0.5);
+}
+
+} // namespace
+} // namespace ctamem::sim
