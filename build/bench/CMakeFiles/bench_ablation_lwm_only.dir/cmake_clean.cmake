@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lwm_only.dir/bench_ablation_lwm_only.cc.o"
+  "CMakeFiles/bench_ablation_lwm_only.dir/bench_ablation_lwm_only.cc.o.d"
+  "bench_ablation_lwm_only"
+  "bench_ablation_lwm_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lwm_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

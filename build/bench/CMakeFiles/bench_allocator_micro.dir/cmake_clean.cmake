@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allocator_micro.dir/bench_allocator_micro.cc.o"
+  "CMakeFiles/bench_allocator_micro.dir/bench_allocator_micro.cc.o.d"
+  "bench_allocator_micro"
+  "bench_allocator_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allocator_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anvil_fp.dir/bench_anvil_fp.cc.o"
+  "CMakeFiles/bench_anvil_fp.dir/bench_anvil_fp.cc.o.d"
+  "bench_anvil_fp"
+  "bench_anvil_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anvil_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_attack_time.cc" "bench/CMakeFiles/bench_attack_time.dir/bench_attack_time.cc.o" "gcc" "bench/CMakeFiles/bench_attack_time.dir/bench_attack_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ctamem_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/ctamem_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ctamem_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ctamem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/ctamem_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ctamem_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cta/CMakeFiles/ctamem_cta.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/ctamem_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/ctamem_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/ctamem_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ctamem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctamem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_time.dir/bench_attack_time.cc.o"
+  "CMakeFiles/bench_attack_time.dir/bench_attack_time.cc.o.d"
+  "bench_attack_time"
+  "bench_attack_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

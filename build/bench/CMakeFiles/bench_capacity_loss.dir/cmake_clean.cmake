@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capacity_loss.dir/bench_capacity_loss.cc.o"
+  "CMakeFiles/bench_capacity_loss.dir/bench_capacity_loss.cc.o.d"
+  "bench_capacity_loss"
+  "bench_capacity_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capacity_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_monotonicity.dir/bench_fig5_monotonicity.cc.o"
+  "CMakeFiles/bench_fig5_monotonicity.dir/bench_fig5_monotonicity.cc.o.d"
+  "bench_fig5_monotonicity"
+  "bench_fig5_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hamming_shield.dir/bench_hamming_shield.cc.o"
+  "CMakeFiles/bench_hamming_shield.dir/bench_hamming_shield.cc.o.d"
+  "bench_hamming_shield"
+  "bench_hamming_shield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hamming_shield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

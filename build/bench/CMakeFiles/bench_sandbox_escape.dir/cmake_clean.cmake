@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sandbox_escape.dir/bench_sandbox_escape.cc.o"
+  "CMakeFiles/bench_sandbox_escape.dir/bench_sandbox_escape.cc.o.d"
+  "bench_sandbox_escape"
+  "bench_sandbox_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sandbox_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

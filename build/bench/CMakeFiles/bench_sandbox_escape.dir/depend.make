@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sandbox_escape.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pessimistic.dir/bench_table3_pessimistic.cc.o"
+  "CMakeFiles/bench_table3_pessimistic.dir/bench_table3_pessimistic.cc.o.d"
+  "bench_table3_pessimistic"
+  "bench_table3_pessimistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pessimistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_profiling.dir/cell_profiling.cpp.o"
+  "CMakeFiles/cell_profiling.dir/cell_profiling.cpp.o.d"
+  "cell_profiling"
+  "cell_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

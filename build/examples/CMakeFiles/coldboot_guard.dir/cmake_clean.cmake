@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldboot_guard.dir/coldboot_guard.cpp.o"
+  "CMakeFiles/coldboot_guard.dir/coldboot_guard.cpp.o.d"
+  "coldboot_guard"
+  "coldboot_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldboot_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

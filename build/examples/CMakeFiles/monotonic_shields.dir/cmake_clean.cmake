@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monotonic_shields.dir/monotonic_shields.cpp.o"
+  "CMakeFiles/monotonic_shields.dir/monotonic_shields.cpp.o.d"
+  "monotonic_shields"
+  "monotonic_shields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monotonic_shields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for monotonic_shields.
+# This may be replaced when dependencies are built.

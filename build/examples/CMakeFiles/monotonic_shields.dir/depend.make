@@ -1,0 +1,2 @@
+# Empty dependencies file for monotonic_shields.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privilege_escalation.dir/privilege_escalation.cpp.o"
+  "CMakeFiles/privilege_escalation.dir/privilege_escalation.cpp.o.d"
+  "privilege_escalation"
+  "privilege_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privilege_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("dram")
+subdirs("profile")
+subdirs("mm")
+subdirs("paging")
+subdirs("kernel")
+subdirs("cta")
+subdirs("attack")
+subdirs("defense")
+subdirs("model")
+subdirs("ext")
+subdirs("sim")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/algorithm1.cc" "src/attack/CMakeFiles/ctamem_attack.dir/algorithm1.cc.o" "gcc" "src/attack/CMakeFiles/ctamem_attack.dir/algorithm1.cc.o.d"
+  "/root/repo/src/attack/catt_bypass.cc" "src/attack/CMakeFiles/ctamem_attack.dir/catt_bypass.cc.o" "gcc" "src/attack/CMakeFiles/ctamem_attack.dir/catt_bypass.cc.o.d"
+  "/root/repo/src/attack/drammer.cc" "src/attack/CMakeFiles/ctamem_attack.dir/drammer.cc.o" "gcc" "src/attack/CMakeFiles/ctamem_attack.dir/drammer.cc.o.d"
+  "/root/repo/src/attack/exploit.cc" "src/attack/CMakeFiles/ctamem_attack.dir/exploit.cc.o" "gcc" "src/attack/CMakeFiles/ctamem_attack.dir/exploit.cc.o.d"
+  "/root/repo/src/attack/pagesize_attack.cc" "src/attack/CMakeFiles/ctamem_attack.dir/pagesize_attack.cc.o" "gcc" "src/attack/CMakeFiles/ctamem_attack.dir/pagesize_attack.cc.o.d"
+  "/root/repo/src/attack/primitives.cc" "src/attack/CMakeFiles/ctamem_attack.dir/primitives.cc.o" "gcc" "src/attack/CMakeFiles/ctamem_attack.dir/primitives.cc.o.d"
+  "/root/repo/src/attack/projectzero.cc" "src/attack/CMakeFiles/ctamem_attack.dir/projectzero.cc.o" "gcc" "src/attack/CMakeFiles/ctamem_attack.dir/projectzero.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/ctamem_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cta/CMakeFiles/ctamem_cta.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/ctamem_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/ctamem_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ctamem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctamem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

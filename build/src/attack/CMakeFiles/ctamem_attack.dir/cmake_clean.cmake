@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_attack.dir/algorithm1.cc.o"
+  "CMakeFiles/ctamem_attack.dir/algorithm1.cc.o.d"
+  "CMakeFiles/ctamem_attack.dir/catt_bypass.cc.o"
+  "CMakeFiles/ctamem_attack.dir/catt_bypass.cc.o.d"
+  "CMakeFiles/ctamem_attack.dir/drammer.cc.o"
+  "CMakeFiles/ctamem_attack.dir/drammer.cc.o.d"
+  "CMakeFiles/ctamem_attack.dir/exploit.cc.o"
+  "CMakeFiles/ctamem_attack.dir/exploit.cc.o.d"
+  "CMakeFiles/ctamem_attack.dir/pagesize_attack.cc.o"
+  "CMakeFiles/ctamem_attack.dir/pagesize_attack.cc.o.d"
+  "CMakeFiles/ctamem_attack.dir/primitives.cc.o"
+  "CMakeFiles/ctamem_attack.dir/primitives.cc.o.d"
+  "CMakeFiles/ctamem_attack.dir/projectzero.cc.o"
+  "CMakeFiles/ctamem_attack.dir/projectzero.cc.o.d"
+  "libctamem_attack.a"
+  "libctamem_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_common.dir/combinatorics.cc.o"
+  "CMakeFiles/ctamem_common.dir/combinatorics.cc.o.d"
+  "CMakeFiles/ctamem_common.dir/log.cc.o"
+  "CMakeFiles/ctamem_common.dir/log.cc.o.d"
+  "libctamem_common.a"
+  "libctamem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

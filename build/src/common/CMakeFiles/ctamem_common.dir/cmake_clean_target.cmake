@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctamem_common.a"
+)

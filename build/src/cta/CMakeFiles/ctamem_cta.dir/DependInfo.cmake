@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cta/hypervisor.cc" "src/cta/CMakeFiles/ctamem_cta.dir/hypervisor.cc.o" "gcc" "src/cta/CMakeFiles/ctamem_cta.dir/hypervisor.cc.o.d"
+  "/root/repo/src/cta/indicator.cc" "src/cta/CMakeFiles/ctamem_cta.dir/indicator.cc.o" "gcc" "src/cta/CMakeFiles/ctamem_cta.dir/indicator.cc.o.d"
+  "/root/repo/src/cta/plan.cc" "src/cta/CMakeFiles/ctamem_cta.dir/plan.cc.o" "gcc" "src/cta/CMakeFiles/ctamem_cta.dir/plan.cc.o.d"
+  "/root/repo/src/cta/ptp_zone.cc" "src/cta/CMakeFiles/ctamem_cta.dir/ptp_zone.cc.o" "gcc" "src/cta/CMakeFiles/ctamem_cta.dir/ptp_zone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mm/CMakeFiles/ctamem_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/ctamem_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ctamem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctamem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

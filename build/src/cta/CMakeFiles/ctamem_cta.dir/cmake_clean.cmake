@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_cta.dir/hypervisor.cc.o"
+  "CMakeFiles/ctamem_cta.dir/hypervisor.cc.o.d"
+  "CMakeFiles/ctamem_cta.dir/indicator.cc.o"
+  "CMakeFiles/ctamem_cta.dir/indicator.cc.o.d"
+  "CMakeFiles/ctamem_cta.dir/plan.cc.o"
+  "CMakeFiles/ctamem_cta.dir/plan.cc.o.d"
+  "CMakeFiles/ctamem_cta.dir/ptp_zone.cc.o"
+  "CMakeFiles/ctamem_cta.dir/ptp_zone.cc.o.d"
+  "libctamem_cta.a"
+  "libctamem_cta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_cta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

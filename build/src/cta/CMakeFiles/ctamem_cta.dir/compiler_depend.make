@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ctamem_cta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_defense.dir/observers.cc.o"
+  "CMakeFiles/ctamem_defense.dir/observers.cc.o.d"
+  "libctamem_defense.a"
+  "libctamem_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

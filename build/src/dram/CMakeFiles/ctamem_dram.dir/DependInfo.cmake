@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/cell_types.cc" "src/dram/CMakeFiles/ctamem_dram.dir/cell_types.cc.o" "gcc" "src/dram/CMakeFiles/ctamem_dram.dir/cell_types.cc.o.d"
+  "/root/repo/src/dram/fault_model.cc" "src/dram/CMakeFiles/ctamem_dram.dir/fault_model.cc.o" "gcc" "src/dram/CMakeFiles/ctamem_dram.dir/fault_model.cc.o.d"
+  "/root/repo/src/dram/geometry.cc" "src/dram/CMakeFiles/ctamem_dram.dir/geometry.cc.o" "gcc" "src/dram/CMakeFiles/ctamem_dram.dir/geometry.cc.o.d"
+  "/root/repo/src/dram/hammer.cc" "src/dram/CMakeFiles/ctamem_dram.dir/hammer.cc.o" "gcc" "src/dram/CMakeFiles/ctamem_dram.dir/hammer.cc.o.d"
+  "/root/repo/src/dram/module.cc" "src/dram/CMakeFiles/ctamem_dram.dir/module.cc.o" "gcc" "src/dram/CMakeFiles/ctamem_dram.dir/module.cc.o.d"
+  "/root/repo/src/dram/sparse_store.cc" "src/dram/CMakeFiles/ctamem_dram.dir/sparse_store.cc.o" "gcc" "src/dram/CMakeFiles/ctamem_dram.dir/sparse_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ctamem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

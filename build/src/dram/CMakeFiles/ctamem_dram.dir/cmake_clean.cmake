@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_dram.dir/cell_types.cc.o"
+  "CMakeFiles/ctamem_dram.dir/cell_types.cc.o.d"
+  "CMakeFiles/ctamem_dram.dir/fault_model.cc.o"
+  "CMakeFiles/ctamem_dram.dir/fault_model.cc.o.d"
+  "CMakeFiles/ctamem_dram.dir/geometry.cc.o"
+  "CMakeFiles/ctamem_dram.dir/geometry.cc.o.d"
+  "CMakeFiles/ctamem_dram.dir/hammer.cc.o"
+  "CMakeFiles/ctamem_dram.dir/hammer.cc.o.d"
+  "CMakeFiles/ctamem_dram.dir/module.cc.o"
+  "CMakeFiles/ctamem_dram.dir/module.cc.o.d"
+  "CMakeFiles/ctamem_dram.dir/sparse_store.cc.o"
+  "CMakeFiles/ctamem_dram.dir/sparse_store.cc.o.d"
+  "libctamem_dram.a"
+  "libctamem_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

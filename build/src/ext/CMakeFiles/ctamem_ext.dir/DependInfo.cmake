@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ext/coldboot.cc" "src/ext/CMakeFiles/ctamem_ext.dir/coldboot.cc.o" "gcc" "src/ext/CMakeFiles/ctamem_ext.dir/coldboot.cc.o.d"
+  "/root/repo/src/ext/hamming_shield.cc" "src/ext/CMakeFiles/ctamem_ext.dir/hamming_shield.cc.o" "gcc" "src/ext/CMakeFiles/ctamem_ext.dir/hamming_shield.cc.o.d"
+  "/root/repo/src/ext/permission_vector.cc" "src/ext/CMakeFiles/ctamem_ext.dir/permission_vector.cc.o" "gcc" "src/ext/CMakeFiles/ctamem_ext.dir/permission_vector.cc.o.d"
+  "/root/repo/src/ext/sandbox.cc" "src/ext/CMakeFiles/ctamem_ext.dir/sandbox.cc.o" "gcc" "src/ext/CMakeFiles/ctamem_ext.dir/sandbox.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/ctamem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ctamem_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctamem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_ext.dir/coldboot.cc.o"
+  "CMakeFiles/ctamem_ext.dir/coldboot.cc.o.d"
+  "CMakeFiles/ctamem_ext.dir/hamming_shield.cc.o"
+  "CMakeFiles/ctamem_ext.dir/hamming_shield.cc.o.d"
+  "CMakeFiles/ctamem_ext.dir/permission_vector.cc.o"
+  "CMakeFiles/ctamem_ext.dir/permission_vector.cc.o.d"
+  "CMakeFiles/ctamem_ext.dir/sandbox.cc.o"
+  "CMakeFiles/ctamem_ext.dir/sandbox.cc.o.d"
+  "libctamem_ext.a"
+  "libctamem_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_kernel.dir/kernel.cc.o"
+  "CMakeFiles/ctamem_kernel.dir/kernel.cc.o.d"
+  "libctamem_kernel.a"
+  "libctamem_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_mm.dir/buddy.cc.o"
+  "CMakeFiles/ctamem_mm.dir/buddy.cc.o.d"
+  "CMakeFiles/ctamem_mm.dir/phys_mem.cc.o"
+  "CMakeFiles/ctamem_mm.dir/phys_mem.cc.o.d"
+  "CMakeFiles/ctamem_mm.dir/zone.cc.o"
+  "CMakeFiles/ctamem_mm.dir/zone.cc.o.d"
+  "libctamem_mm.a"
+  "libctamem_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

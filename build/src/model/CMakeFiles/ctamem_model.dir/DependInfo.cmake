@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/capacity.cc" "src/model/CMakeFiles/ctamem_model.dir/capacity.cc.o" "gcc" "src/model/CMakeFiles/ctamem_model.dir/capacity.cc.o.d"
+  "/root/repo/src/model/montecarlo.cc" "src/model/CMakeFiles/ctamem_model.dir/montecarlo.cc.o" "gcc" "src/model/CMakeFiles/ctamem_model.dir/montecarlo.cc.o.d"
+  "/root/repo/src/model/security_model.cc" "src/model/CMakeFiles/ctamem_model.dir/security_model.cc.o" "gcc" "src/model/CMakeFiles/ctamem_model.dir/security_model.cc.o.d"
+  "/root/repo/src/model/tables.cc" "src/model/CMakeFiles/ctamem_model.dir/tables.cc.o" "gcc" "src/model/CMakeFiles/ctamem_model.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/ctamem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctamem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

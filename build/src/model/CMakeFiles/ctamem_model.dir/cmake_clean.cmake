@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_model.dir/capacity.cc.o"
+  "CMakeFiles/ctamem_model.dir/capacity.cc.o.d"
+  "CMakeFiles/ctamem_model.dir/montecarlo.cc.o"
+  "CMakeFiles/ctamem_model.dir/montecarlo.cc.o.d"
+  "CMakeFiles/ctamem_model.dir/security_model.cc.o"
+  "CMakeFiles/ctamem_model.dir/security_model.cc.o.d"
+  "CMakeFiles/ctamem_model.dir/tables.cc.o"
+  "CMakeFiles/ctamem_model.dir/tables.cc.o.d"
+  "libctamem_model.a"
+  "libctamem_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paging/address_space.cc" "src/paging/CMakeFiles/ctamem_paging.dir/address_space.cc.o" "gcc" "src/paging/CMakeFiles/ctamem_paging.dir/address_space.cc.o.d"
+  "/root/repo/src/paging/tlb.cc" "src/paging/CMakeFiles/ctamem_paging.dir/tlb.cc.o" "gcc" "src/paging/CMakeFiles/ctamem_paging.dir/tlb.cc.o.d"
+  "/root/repo/src/paging/walker.cc" "src/paging/CMakeFiles/ctamem_paging.dir/walker.cc.o" "gcc" "src/paging/CMakeFiles/ctamem_paging.dir/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/ctamem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctamem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

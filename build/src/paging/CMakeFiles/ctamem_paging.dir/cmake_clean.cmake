@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_paging.dir/address_space.cc.o"
+  "CMakeFiles/ctamem_paging.dir/address_space.cc.o.d"
+  "CMakeFiles/ctamem_paging.dir/tlb.cc.o"
+  "CMakeFiles/ctamem_paging.dir/tlb.cc.o.d"
+  "CMakeFiles/ctamem_paging.dir/walker.cc.o"
+  "CMakeFiles/ctamem_paging.dir/walker.cc.o.d"
+  "libctamem_paging.a"
+  "libctamem_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/cell_profiler.cc" "src/profile/CMakeFiles/ctamem_profile.dir/cell_profiler.cc.o" "gcc" "src/profile/CMakeFiles/ctamem_profile.dir/cell_profiler.cc.o.d"
+  "/root/repo/src/profile/retention_profiler.cc" "src/profile/CMakeFiles/ctamem_profile.dir/retention_profiler.cc.o" "gcc" "src/profile/CMakeFiles/ctamem_profile.dir/retention_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/ctamem_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctamem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

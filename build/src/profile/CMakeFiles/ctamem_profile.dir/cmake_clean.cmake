@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_profile.dir/cell_profiler.cc.o"
+  "CMakeFiles/ctamem_profile.dir/cell_profiler.cc.o.d"
+  "CMakeFiles/ctamem_profile.dir/retention_profiler.cc.o"
+  "CMakeFiles/ctamem_profile.dir/retention_profiler.cc.o.d"
+  "libctamem_profile.a"
+  "libctamem_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ctamem_profile.
+# This may be replaced when dependencies are built.

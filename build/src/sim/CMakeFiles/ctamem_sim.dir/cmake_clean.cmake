@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctamem_sim.dir/machine.cc.o"
+  "CMakeFiles/ctamem_sim.dir/machine.cc.o.d"
+  "CMakeFiles/ctamem_sim.dir/perf_harness.cc.o"
+  "CMakeFiles/ctamem_sim.dir/perf_harness.cc.o.d"
+  "CMakeFiles/ctamem_sim.dir/workload.cc.o"
+  "CMakeFiles/ctamem_sim.dir/workload.cc.o.d"
+  "libctamem_sim.a"
+  "libctamem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctamem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

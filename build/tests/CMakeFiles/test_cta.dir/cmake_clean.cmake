@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cta.dir/test_cta.cc.o"
+  "CMakeFiles/test_cta.dir/test_cta.cc.o.d"
+  "test_cta"
+  "test_cta.pdb"
+  "test_cta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

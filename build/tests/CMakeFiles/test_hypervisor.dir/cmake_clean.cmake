@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypervisor.dir/test_hypervisor.cc.o"
+  "CMakeFiles/test_hypervisor.dir/test_hypervisor.cc.o.d"
+  "test_hypervisor"
+  "test_hypervisor.pdb"
+  "test_hypervisor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

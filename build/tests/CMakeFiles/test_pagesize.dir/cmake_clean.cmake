@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pagesize.dir/test_pagesize.cc.o"
+  "CMakeFiles/test_pagesize.dir/test_pagesize.cc.o.d"
+  "test_pagesize"
+  "test_pagesize.pdb"
+  "test_pagesize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paging.dir/test_paging.cc.o"
+  "CMakeFiles/test_paging.dir/test_paging.cc.o.d"
+  "test_paging"
+  "test_paging.pdb"
+  "test_paging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
