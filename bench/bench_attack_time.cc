@@ -1,17 +1,20 @@
 /**
  * @file
  * Section 5 attack execution: runs the implemented attacks on
- * protected and unprotected machines, reporting outcome plus modeled
- * attack time, and prices the full-scale Algorithm 1 with the paper's
- * measured per-step costs (fill 184 ms, hammer 64 ms/row, check
- * 600 ns/PTE) for the real 8-32 GiB configurations.
+ * protected and unprotected machines via one Campaign sweep,
+ * reporting outcome plus modeled attack time, and prices the
+ * full-scale Algorithm 1 with the paper's measured per-step costs
+ * (fill 184 ms, hammer 64 ms/row, check 600 ns/PTE) for the real
+ * 8-32 GiB configurations.
  */
 
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "model/security_model.hh"
-#include "sim/machine.hh"
+#include "runtime/thread_pool.hh"
+#include "sim/campaign.hh"
 
 int
 main()
@@ -20,6 +23,20 @@ main()
     using namespace ctamem::sim;
     using defense::DefenseKind;
 
+    std::vector<MachineConfig> configs(2);
+    configs[0].defense = DefenseKind::None;
+    configs[1].defense = DefenseKind::Cta;
+    const std::vector<AttackKind> attacks{
+        AttackKind::ProjectZero, AttackKind::Drammer,
+        AttackKind::Algorithm1};
+
+    // The campaign grid is attack-major, matching the table rows:
+    // each attack against the unprotected then the CTA machine.
+    Campaign campaign;
+    campaign.addGrid(configs, attacks);
+    runtime::ThreadPool pool;
+    const CampaignReport report = campaign.run(pool);
+
     std::cout << "Executable attacks (256 MiB machine, Pf=1e-3)\n\n";
     std::cout << std::left << std::setw(26) << "attack"
               << std::setw(14) << "defense" << std::setw(18)
@@ -27,35 +44,31 @@ main()
               << std::setw(12) << "flips" << "modeled time\n";
 
     int status = 0;
-    for (const DefenseKind defense :
-         {DefenseKind::None, DefenseKind::Cta}) {
-        for (const AttackKind kind :
-             {AttackKind::ProjectZero, AttackKind::Drammer,
-              AttackKind::Algorithm1}) {
-            MachineConfig config;
-            config.defense = defense;
-            Machine machine(config);
-            const attack::AttackResult result = machine.attack(kind);
-            std::cout << std::setw(26) << attackName(kind)
-                      << std::setw(14)
-                      << defense::defenseName(defense)
-                      << std::setw(18)
-                      << attack::outcomeName(result.outcome)
-                      << std::setw(14) << result.hammerPasses
-                      << std::setw(12) << result.flipsInduced
-                      << std::fixed << std::setprecision(2)
-                      << static_cast<double>(result.attackTime) /
-                             seconds
-                      << " s\n";
-            std::cout.unsetf(std::ios::fixed);
-            const bool escalated =
-                result.outcome == attack::Outcome::Escalated;
-            if (defense == DefenseKind::None && !escalated)
-                status = 1;
-            if (defense == DefenseKind::Cta && escalated)
-                status = 1;
-        }
+    for (const CellResult &cell : report.cells) {
+        const DefenseKind defense = cell.cell.config.defense;
+        std::cout << std::setw(26) << attackName(cell.cell.attack)
+                  << std::setw(14) << defense::defenseName(defense)
+                  << std::setw(18)
+                  << attack::outcomeName(cell.result.outcome)
+                  << std::setw(14) << cell.result.hammerPasses
+                  << std::setw(12) << cell.result.flipsInduced
+                  << std::fixed << std::setprecision(2)
+                  << static_cast<double>(cell.result.attackTime) /
+                         seconds
+                  << " s\n";
+        std::cout.unsetf(std::ios::fixed);
+        const bool escalated =
+            cell.result.outcome == attack::Outcome::Escalated;
+        if (defense == DefenseKind::None && !escalated)
+            status = 1;
+        if (defense == DefenseKind::Cta && escalated)
+            status = 1;
     }
+    std::cout << "\nsweep: " << report.cells.size() << " cells, wall "
+              << std::setprecision(3) << report.wallSeconds
+              << " s on " << pool.size()
+              << " workers (serial-equivalent "
+              << report.cellSecondsTotal() << " s)\n";
 
     std::cout << "\nFull-scale Algorithm 1 pricing (paper's "
                  "measured step costs):\n";

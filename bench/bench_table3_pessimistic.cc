@@ -1,16 +1,23 @@
 /**
  * @file
  * Reproduces Table 3: the pessimistic technology-scaling scenario
- * (Pf = 5e-4, P(0->1) = 0.5%) over the same sweep as Table 2.
+ * (Pf = 5e-4, P(0->1) = 0.5%) over the same sweep as Table 2, with a
+ * thread-pool Monte-Carlo cross-check of the scaling direction: the
+ * pessimistic parameters must raise the estimated exploitability of
+ * every sweep cell.
  */
 
 #include <iostream>
+#include <vector>
 
+#include "model/montecarlo.hh"
 #include "model/tables.hh"
+#include "runtime/thread_pool.hh"
 
 int
 main()
 {
+    using namespace ctamem;
     using namespace ctamem::model;
 
     printTable(std::cout,
@@ -21,5 +28,39 @@ main()
                  "conditioned on the rare vulnerable system having "
                  "exactly one exploitable PTE, the expected search "
                  "covers half the pages regardless of Pf.\n";
-    return 0;
+
+    // Monte-Carlo scaling check on the pool: for each sweep cell,
+    // Table-3's boosted-Pf estimate must exceed Table-2's.
+    runtime::ThreadPool pool;
+    bool scaling_holds = true;
+    std::cout << "\nMC scaling cross-check (boosted params, "
+              << pool.size() << " workers):\n";
+    for (const TableRow &row : makeTable3()) {
+        McSpec base;
+        base.params.memBytes = row.memBytes;
+        base.params.ptpBytes = row.ptpBytes;
+        base.params.errors.pf = 0.02;
+        base.params.errors.p01True = 0.3;
+        base.params.errors.p10True = 0.7;
+        base.zeros = row.restricted ? 2 : 1;
+        base.trials = 400'000;
+
+        McSpec pessimistic = base;
+        pessimistic.params.errors.pf = 0.1; // the 5x Pf scaling
+
+        const McEstimate table2 = runMc(base, pool);
+        const McEstimate table3 = runMc(pessimistic, pool);
+        const bool rises = table3.mean > table2.mean;
+        if (!rises)
+            scaling_holds = false;
+        std::cout << "  " << row.memBytes / GiB << "GB/"
+                  << row.ptpBytes / MiB << "MB"
+                  << (row.restricted ? " restricted  " : " open        ")
+                  << "P(exploitable) " << table2.mean << " -> "
+                  << table3.mean << (rises ? "" : "  (NOT RISING)")
+                  << '\n';
+    }
+    std::cout << "pessimistic scaling raises every cell: "
+              << (scaling_holds ? "YES" : "NO") << '\n';
+    return scaling_holds ? 0 : 1;
 }

@@ -6,15 +6,19 @@
  *   ./build/examples/attack_lab --defense cta --attack projectzero
  *   ./build/examples/attack_lab --defense none --attack drammer \
  *       --mem 512 --pf 1e-3 --seed 42
+ *   ./build/examples/attack_lab --matrix --jobs 4
  *   ./build/examples/attack_lab --list
  */
 
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
-#include "sim/machine.hh"
+#include "runtime/thread_pool.hh"
+#include "sim/campaign.hh"
 
 namespace {
 
@@ -58,8 +62,57 @@ usage()
 {
     std::cerr << "usage: attack_lab [--defense NAME] [--attack NAME]"
                  " [--mem MiB] [--ptp MiB] [--pf P] [--seed N]"
-                 " [--list]\n";
+                 " [--matrix] [--jobs N] [--list]\n";
     std::exit(2);
+}
+
+/**
+ * --matrix: run every attack against every defense as one parallel
+ * Campaign (same machine config otherwise) and render the table.
+ */
+int
+runMatrix(const sim::MachineConfig &base, unsigned jobs)
+{
+    std::vector<sim::MachineConfig> configs;
+    std::vector<DefenseKind> defenses;
+    for (const auto &[name, kind] : defenseByName) {
+        sim::MachineConfig config = base;
+        config.defense = kind;
+        configs.push_back(config);
+        defenses.push_back(kind);
+    }
+    std::vector<AttackKind> attacks;
+    for (const auto &[name, kind] : attackByName)
+        attacks.push_back(kind);
+
+    sim::Campaign campaign;
+    campaign.addGrid(configs, attacks);
+    runtime::ThreadPool pool(jobs);
+    const sim::CampaignReport report = campaign.run(pool);
+
+    std::cout << std::left << std::setw(26) << "attack \\ defense";
+    for (const DefenseKind defense : defenses)
+        std::cout << std::setw(17) << defense::defenseName(defense);
+    std::cout << '\n';
+    std::size_t index = 0;
+    for (const AttackKind attack : attacks) {
+        std::cout << std::setw(26) << sim::attackName(attack);
+        for (std::size_t col = 0; col < defenses.size(); ++col) {
+            const sim::CellResult &cell = report.cells.at(index++);
+            std::string text =
+                attack::outcomeName(cell.result.outcome);
+            if (cell.anvilTriggered)
+                text += "*";
+            std::cout << std::setw(17) << text;
+        }
+        std::cout << '\n';
+    }
+    std::cout << "\n" << report.cells.size() << " cells, wall "
+              << std::setprecision(3) << report.wallSeconds
+              << " s on " << pool.size()
+              << " workers (serial-equivalent "
+              << report.cellSecondsTotal() << " s)\n";
+    return 0;
 }
 
 } // namespace
@@ -70,6 +123,8 @@ main(int argc, char **argv)
     std::string defense_name = "cta";
     std::string attack_name = "projectzero";
     sim::MachineConfig config;
+    bool matrix = false;
+    unsigned jobs = 0; // 0 = one worker per hardware thread
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -93,10 +148,16 @@ main(int argc, char **argv)
             config.pf = std::stod(next());
         } else if (arg == "--seed") {
             config.seed = std::stoull(next());
+        } else if (arg == "--matrix") {
+            matrix = true;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::stoul(next()));
         } else {
             usage();
         }
     }
+    if (matrix)
+        return runMatrix(config, jobs);
     if (!defenseByName.contains(defense_name) ||
         !attackByName.contains(attack_name)) {
         listOptions();

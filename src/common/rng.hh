@@ -19,6 +19,28 @@
 
 namespace ctamem {
 
+/**
+ * The repository's named default seeds.  Every component that used to
+ * hardcode a magic number (MachineConfig's 1234, the Monte-Carlo 42,
+ * the observer streams) pulls it from here, and derived per-component
+ * streams go through deriveSeed() below instead of ad-hoc XOR.
+ */
+namespace seeds {
+
+/** Default DRAM/machine seed (the benches' "seed 1234"). */
+inline constexpr std::uint64_t kMachine = 1234;
+
+/** Default seed of the model's Monte-Carlo estimators. */
+inline constexpr std::uint64_t kMonteCarlo = 42;
+
+/** Stream tag for the PARA observer's refresh lottery. */
+inline constexpr std::uint64_t kParaStream = 0x9a4a;
+
+/** Stream tag for the refresh-boost observer's pass gate. */
+inline constexpr std::uint64_t kRefreshBoostStream = 0xb005;
+
+} // namespace seeds
+
 /** splitmix64 step: the core mixing function used everywhere below. */
 constexpr std::uint64_t
 splitmix64(std::uint64_t x)
@@ -42,6 +64,19 @@ stableHash(std::uint64_t seed, std::uint64_t key, Rest... rest)
 {
     return stableHash(splitmix64(seed ^ (key + 0x517cc1b727220a95ULL)),
                       rest...);
+}
+
+/**
+ * Derive an independent child seed from a base seed and a stream
+ * index (a counter, an observer tag, a Monte-Carlo chunk number).
+ * Counter-based: deriveSeed(s, i) for i = 0, 1, 2, ... yields
+ * decorrelated streams without any sequential hand-off, which is what
+ * makes chunked parallel sampling order-independent.
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    return stableHash(seed, stream);
 }
 
 /** Map a stable hash of the keys to a double uniform in [0, 1). */

@@ -27,7 +27,7 @@ class ParaObserver : public ObserverDefense
 {
   public:
     explicit ParaObserver(double probability = 0.001,
-                          std::uint64_t seed = 0x9a4a)
+                          std::uint64_t seed = seeds::kParaStream)
         : probability_(probability), rng_(seed)
     {}
 
@@ -60,7 +60,8 @@ class RefreshBoostObserver : public ObserverDefense
 {
   public:
     explicit RefreshBoostObserver(unsigned factor = 4,
-                                  std::uint64_t seed = 0xb005)
+                                  std::uint64_t seed =
+                                      seeds::kRefreshBoostStream)
         : factor_(factor ? factor : 1), rng_(seed)
     {}
 

@@ -4,89 +4,185 @@
 #include <vector>
 
 #include "common/log.hh"
-#include "common/rng.hh"
+#include "common/stats.hh"
+#include "runtime/thread_pool.hh"
 
 namespace ctamem::model {
 
 namespace {
 
-McEstimate
-summarize(std::uint64_t hits, std::uint64_t trials)
+/** Flip probabilities shared by every trial of one spec. */
+struct TrialSetup
 {
-    const double mean =
-        static_cast<double>(hits) / static_cast<double>(trials);
-    const double variance = mean * (1.0 - mean);
-    return McEstimate{
-        mean, std::sqrt(variance / static_cast<double>(trials)),
-        trials};
+    explicit TrialSetup(const SystemParams &params)
+        : n(params.indicatorBits()),
+          pUp(params.errors.upFlipProb(params.zoneCells)),
+          pDown(params.errors.downFlipProb(params.zoneCells)),
+          allOnes((1ULL << n) - 1)
+    {}
+
+    unsigned n;
+    double pUp;
+    double pDown;
+    std::uint64_t allOnes;
+};
+
+bool
+fixedZerosTrial(Rng &rng, const TrialSetup &setup, unsigned zeros,
+                std::vector<unsigned> &positions)
+{
+    // Choose which indicator bits are zero (Fisher-Yates prefix).
+    for (unsigned i = 0; i < setup.n; ++i)
+        positions[i] = i;
+    for (unsigned i = 0; i < zeros; ++i) {
+        const unsigned j =
+            i + static_cast<unsigned>(rng.below(setup.n - i));
+        std::swap(positions[i], positions[j]);
+    }
+    bool exploitable = true;
+    for (unsigned i = 0; i < setup.n && exploitable; ++i) {
+        if (i < zeros)
+            exploitable = rng.chance(setup.pUp);    // must flip up
+        else
+            exploitable = !rng.chance(setup.pDown); // must hold
+    }
+    return exploitable;
+}
+
+bool
+uniformTrial(Rng &rng, const TrialSetup &setup)
+{
+    // Uniform pointer below the low water mark: its indicator is
+    // uniform over [0, 2^n - 1) (the all-ones value IS the zone).
+    const std::uint64_t indicator = rng.below(setup.allOnes);
+    std::uint64_t value = indicator;
+    for (unsigned bit = 0; bit < setup.n; ++bit) {
+        const bool set = (value >> bit) & 1;
+        if (!set && rng.chance(setup.pUp))
+            value |= 1ULL << bit;
+        else if (set && rng.chance(setup.pDown))
+            value &= ~(1ULL << bit);
+    }
+    return value == setup.allOnes;
+}
+
+/** Trials covered by chunk @p index of the spec. */
+std::uint64_t
+chunkTrials(const McSpec &spec, std::uint64_t index,
+            std::uint64_t chunks)
+{
+    if (index + 1 < chunks)
+        return spec.chunkSize;
+    return spec.trials - spec.chunkSize * (chunks - 1);
+}
+
+/**
+ * Run one seeding chunk.  The chunk's Rng is derived from
+ * (seed, chunkIndex) alone, so chunks are independent of execution
+ * order and of each other.
+ */
+MomentAccumulator
+runChunk(const McSpec &spec, std::uint64_t chunkIndex,
+         std::uint64_t trials)
+{
+    const TrialSetup setup(spec.params);
+    Rng rng(deriveSeed(spec.seed, chunkIndex));
+    MomentAccumulator moments;
+    std::vector<unsigned> positions(setup.n);
+    for (std::uint64_t trial = 0; trial < trials; ++trial) {
+        bool hit = false;
+        switch (spec.sampler) {
+          case Sampler::FixedZeros:
+            hit = fixedZerosTrial(rng, setup, spec.zeros, positions);
+            break;
+          case Sampler::Uniform:
+            hit = uniformTrial(rng, setup);
+            break;
+        }
+        moments.record(hit ? 1.0 : 0.0);
+    }
+    return moments;
+}
+
+void
+validate(const McSpec &spec)
+{
+    if (spec.trials == 0)
+        fatal("runMc: zero trials");
+    if (spec.chunkSize == 0)
+        fatal("runMc: zero chunkSize");
+    if (spec.sampler == Sampler::FixedZeros &&
+        spec.zeros > spec.params.indicatorBits())
+        fatal("runMc: zeros > indicator bits");
+}
+
+std::uint64_t
+chunkCount(const McSpec &spec)
+{
+    return (spec.trials + spec.chunkSize - 1) / spec.chunkSize;
+}
+
+/** Index-ordered fold of per-chunk moments into the estimate. */
+McEstimate
+summarize(const std::vector<MomentAccumulator> &chunks)
+{
+    MomentAccumulator total;
+    for (const MomentAccumulator &chunk : chunks)
+        total.merge(chunk);
+    return McEstimate{total.mean(), total.stderrOfMean(),
+                      total.count()};
 }
 
 } // namespace
 
 McEstimate
+runMc(const McSpec &spec)
+{
+    validate(spec);
+    const std::uint64_t chunks = chunkCount(spec);
+    std::vector<MomentAccumulator> partial(chunks);
+    for (std::uint64_t i = 0; i < chunks; ++i)
+        partial[i] = runChunk(spec, i, chunkTrials(spec, i, chunks));
+    return summarize(partial);
+}
+
+McEstimate
+runMc(const McSpec &spec, runtime::ThreadPool &pool)
+{
+    validate(spec);
+    const std::uint64_t chunks = chunkCount(spec);
+    std::vector<MomentAccumulator> partial(chunks);
+    // Each chunk writes only its own slot; the fold below walks the
+    // slots in index order, so thread count cannot affect the result.
+    pool.parallelFor(0, chunks, [&](std::uint64_t i) {
+        partial[i] = runChunk(spec, i, chunkTrials(spec, i, chunks));
+    });
+    return summarize(partial);
+}
+
+McEstimate
 mcExploitableFixedZeros(const SystemParams &params, unsigned zeros,
                         std::uint64_t trials, std::uint64_t seed)
 {
-    const unsigned n = params.indicatorBits();
-    if (zeros > n)
-        fatal("mcExploitableFixedZeros: zeros > indicator bits");
-    const double p_up = params.errors.upFlipProb(params.zoneCells);
-    const double p_down =
-        params.errors.downFlipProb(params.zoneCells);
-
-    Rng rng(seed);
-    std::uint64_t hits = 0;
-    std::vector<unsigned> positions(n);
-    for (std::uint64_t trial = 0; trial < trials; ++trial) {
-        // Choose which indicator bits are zero (Fisher-Yates prefix).
-        for (unsigned i = 0; i < n; ++i)
-            positions[i] = i;
-        for (unsigned i = 0; i < zeros; ++i) {
-            const unsigned j =
-                i + static_cast<unsigned>(rng.below(n - i));
-            std::swap(positions[i], positions[j]);
-        }
-        bool exploitable = true;
-        for (unsigned i = 0; i < n && exploitable; ++i) {
-            if (i < zeros)
-                exploitable = rng.chance(p_up);   // must flip up
-            else
-                exploitable = !rng.chance(p_down); // must hold
-        }
-        if (exploitable)
-            ++hits;
-    }
-    return summarize(hits, trials);
+    McSpec spec;
+    spec.params = params;
+    spec.sampler = Sampler::FixedZeros;
+    spec.zeros = zeros;
+    spec.trials = trials;
+    spec.seed = seed;
+    return runMc(spec);
 }
 
 McEstimate
 mcExploitableUniform(const SystemParams &params, std::uint64_t trials,
                      std::uint64_t seed)
 {
-    const unsigned n = params.indicatorBits();
-    const double p_up = params.errors.upFlipProb(params.zoneCells);
-    const double p_down =
-        params.errors.downFlipProb(params.zoneCells);
-    const std::uint64_t all_ones = (1ULL << n) - 1;
-
-    Rng rng(seed);
-    std::uint64_t hits = 0;
-    for (std::uint64_t trial = 0; trial < trials; ++trial) {
-        // Uniform pointer below the low water mark: its indicator is
-        // uniform over [0, 2^n - 1) (the all-ones value IS the zone).
-        const std::uint64_t indicator = rng.below(all_ones);
-        std::uint64_t value = indicator;
-        for (unsigned bit = 0; bit < n; ++bit) {
-            const bool set = (value >> bit) & 1;
-            if (!set && rng.chance(p_up))
-                value |= 1ULL << bit;
-            else if (set && rng.chance(p_down))
-                value &= ~(1ULL << bit);
-        }
-        if (value == all_ones)
-            ++hits;
-    }
-    return summarize(hits, trials);
+    McSpec spec;
+    spec.params = params;
+    spec.sampler = Sampler::Uniform;
+    spec.trials = trials;
+    spec.seed = seed;
+    return runMc(spec);
 }
 
 } // namespace ctamem::model

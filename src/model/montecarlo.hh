@@ -10,6 +10,12 @@
  *    of the formula;
  *  - uniform pointers below the low water mark, the conservative
  *    variant, showing the formula upper-bounds real spray content.
+ *
+ * The entry point is runMc() over an McSpec.  Trials are evaluated in
+ * fixed-size chunks; chunk i draws from Rng(deriveSeed(seed, i)) and
+ * per-chunk moments are folded in chunk-index order, so for a fixed
+ * (seed, trials, chunkSize) the estimate is bit-identical whether it
+ * runs serially or on a thread pool of any size.
  */
 
 #ifndef CTAMEM_MODEL_MONTECARLO_HH
@@ -17,7 +23,12 @@
 
 #include <cstdint>
 
+#include "common/rng.hh"
 #include "model/security_model.hh"
+
+namespace ctamem::runtime {
+class ThreadPool;
+} // namespace ctamem::runtime
 
 namespace ctamem::model {
 
@@ -29,23 +40,54 @@ struct McEstimate
     std::uint64_t trials;
 };
 
+/** Which spray-content distribution a Monte-Carlo run samples. */
+enum class Sampler : std::uint8_t
+{
+    FixedZeros, //!< attacker-optimal: exactly `zeros` indicator zeros
+    Uniform,    //!< uniform pointers below the low water mark
+};
+
+/** One fully-specified Monte-Carlo experiment. */
+struct McSpec
+{
+    SystemParams params;
+    Sampler sampler = Sampler::FixedZeros;
+    /** Indicator zeros per sprayed PTE (FixedZeros sampler only). */
+    unsigned zeros = 1;
+    std::uint64_t trials = 200'000;
+    std::uint64_t seed = seeds::kMonteCarlo;
+    /** Trials per seeding chunk; part of the result's identity. */
+    std::uint64_t chunkSize = 16'384;
+};
+
+/** Run the experiment serially. */
+McEstimate runMc(const McSpec &spec);
+
+/**
+ * Run the experiment's chunks on @p pool.  Bit-identical to the
+ * serial overload for the same spec, at any pool size.
+ */
+McEstimate runMc(const McSpec &spec, runtime::ThreadPool &pool);
+
 /**
  * Estimate P_exploitable by simulating per-bit flips on PTEs whose
  * indicator has exactly @p zeros zero bits (attacker-optimal when
- * zeros == max(1, minIndicatorZeros)).
+ * zeros == max(1, minIndicatorZeros)).  Thin wrapper over runMc().
  */
 McEstimate mcExploitableFixedZeros(const SystemParams &params,
                                    unsigned zeros,
                                    std::uint64_t trials,
-                                   std::uint64_t seed = 42);
+                                   std::uint64_t seed =
+                                       seeds::kMonteCarlo);
 
 /**
  * Estimate P_exploitable for uniform pointers below the low water
- * mark.
+ * mark.  Thin wrapper over runMc().
  */
 McEstimate mcExploitableUniform(const SystemParams &params,
                                 std::uint64_t trials,
-                                std::uint64_t seed = 42);
+                                std::uint64_t seed =
+                                    seeds::kMonteCarlo);
 
 } // namespace ctamem::model
 

@@ -1,0 +1,108 @@
+#include "runtime/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ctamem::runtime {
+
+unsigned
+defaultWorkerCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count = threads ? threads : defaultWorkerCount();
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    available_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            ctamem_panic("ThreadPool::enqueue after shutdown");
+        queue_.push_back(std::move(job));
+    }
+    available_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock, [this]() {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // A packaged_task catches its own exceptions into the future;
+        // raw parallelFor blocks catch theirs below.
+        job();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::uint64_t begin, std::uint64_t end,
+                        const std::function<void(std::uint64_t)> &body)
+{
+    if (begin >= end)
+        return;
+    const std::uint64_t total = end - begin;
+    // Over-split a little so uneven iteration costs still balance.
+    const std::uint64_t blocks =
+        std::min<std::uint64_t>(total, std::uint64_t{size()} * 4);
+    const std::uint64_t per = total / blocks;
+    const std::uint64_t extra = total % blocks;
+
+    std::vector<std::future<void>> pending;
+    pending.reserve(blocks);
+    std::uint64_t cursor = begin;
+    for (std::uint64_t block = 0; block < blocks; ++block) {
+        const std::uint64_t len = per + (block < extra ? 1 : 0);
+        const std::uint64_t lo = cursor;
+        const std::uint64_t hi = cursor + len;
+        cursor = hi;
+        pending.push_back(submit([&body, lo, hi]() {
+            for (std::uint64_t i = lo; i < hi; ++i)
+                body(i);
+        }));
+    }
+
+    std::exception_ptr first;
+    for (std::future<void> &f : pending) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace ctamem::runtime

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for the parallel experiment engine.
+ *
+ * Design goals, in order:
+ *  1. determinism of the *consumers* — the pool only supplies raw
+ *     concurrency; anything whose output must not depend on the
+ *     worker count (Monte-Carlo chunking, campaign cells) carries its
+ *     own counter-derived seeds and merges results in task-index
+ *     order, never in completion order;
+ *  2. exception transparency — a task that throws surfaces the
+ *     exception at the matching future's get(), and parallelFor
+ *     rethrows the first block failure after all blocks finish;
+ *  3. reusability — one pool outlives many submit/parallelFor rounds
+ *     (machine construction is far cheaper than thread creation at
+ *     campaign scale).
+ */
+
+#ifndef CTAMEM_RUNTIME_THREAD_POOL_HH
+#define CTAMEM_RUNTIME_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ctamem::runtime {
+
+/** Worker count to use when the caller does not care (>= 1). */
+unsigned defaultWorkerCount();
+
+/** Fixed-size thread pool with task futures and a parallel loop. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = defaultWorkerCount(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Queue a callable; its result (or exception) is delivered
+     * through the returned future.
+     */
+    template <typename F,
+              typename R = std::invoke_result_t<std::decay_t<F>>>
+    std::future<R>
+    submit(F &&callable)
+    {
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(callable));
+        std::future<R> result = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return result;
+    }
+
+    /**
+     * Run body(i) for every i in [begin, end), blocking until all
+     * iterations finish.  Iterations are grouped into contiguous
+     * blocks; the first exception thrown by any iteration is
+     * rethrown here once every block has completed.
+     */
+    void parallelFor(std::uint64_t begin, std::uint64_t end,
+                     const std::function<void(std::uint64_t)> &body);
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable available_;
+    bool stopping_ = false;
+};
+
+} // namespace ctamem::runtime
+
+#endif // CTAMEM_RUNTIME_THREAD_POOL_HH

@@ -63,11 +63,13 @@ Machine::Machine(const MachineConfig &config) : config_(config)
     switch (config.defense) {
       case DefenseKind::RefreshBoost:
         observer_ = std::make_unique<defense::RefreshBoostObserver>(
-            config.refreshBoostFactor, config.seed ^ 0xb005);
+            config.refreshBoostFactor,
+            deriveSeed(config.seed, seeds::kRefreshBoostStream));
         break;
       case DefenseKind::Para:
         observer_ = std::make_unique<defense::ParaObserver>(
-            config.paraProbability, config.seed ^ 0x9a4a);
+            config.paraProbability,
+            deriveSeed(config.seed, seeds::kParaStream));
         break;
       case DefenseKind::Anvil:
         observer_ = std::make_unique<defense::AnvilObserver>(
@@ -90,7 +92,7 @@ Machine::anvil()
 }
 
 attack::AttackResult
-Machine::attack(AttackKind kind)
+Machine::runAttack(AttackKind kind)
 {
     switch (kind) {
       case AttackKind::ProjectZero:

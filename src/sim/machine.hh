@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "attack/result.hh"
+#include "common/rng.hh"
 #include "cta/config.hh"
 #include "defense/observers.hh"
 #include "dram/hammer.hh"
@@ -41,7 +42,7 @@ struct MachineConfig
     std::uint64_t banks = 1;
     std::uint64_t cellPeriod = 512; //!< alternating stripe, in rows
     double pf = 1e-3;               //!< boosted for simulation scale
-    std::uint64_t seed = 1234;
+    std::uint64_t seed = seeds::kMachine;
 
     defense::DefenseKind defense = defense::DefenseKind::None;
     std::uint64_t ptpBytes = 4 * MiB;     //!< for the CTA defenses
@@ -68,8 +69,17 @@ class Machine
     /** The ANVIL detector, when that defense is active. */
     defense::AnvilObserver *anvil();
 
-    /** Run one attack against this machine. */
-    attack::AttackResult attack(AttackKind kind);
+    /**
+     * Run one attack against this machine — the single dispatch the
+     * Campaign engine and every bench program against.
+     */
+    attack::AttackResult runAttack(AttackKind kind);
+
+    /** Old name of runAttack(); kept so existing callers compile. */
+    attack::AttackResult attack(AttackKind kind)
+    {
+        return runAttack(kind);
+    }
 
   private:
     MachineConfig config_;

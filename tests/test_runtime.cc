@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: ThreadPool semantics
+ * (results, exceptions, reuse), bit-exact determinism of the chunked
+ * Monte-Carlo runner across worker counts, and Campaign result
+ * tables matching the serial per-machine runners.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "model/montecarlo.hh"
+#include "runtime/thread_pool.hh"
+#include "sim/campaign.hh"
+
+namespace ctamem {
+namespace {
+
+using model::McEstimate;
+using model::McSpec;
+using runtime::ThreadPool;
+
+TEST(ThreadPool, SubmitDeliversResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionReachesFuture)
+{
+    ThreadPool pool(2);
+    std::future<int> bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The worker that ran the throwing task is still alive.
+    EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::uint64_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(0, kCount,
+                     [&](std::uint64_t i) { ++hits[i]; });
+    for (std::uint64_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(5, 5, [](std::uint64_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    std::atomic<std::uint64_t> visited{0};
+    EXPECT_THROW(pool.parallelFor(0, 64,
+                                  [&](std::uint64_t i) {
+                                      ++visited;
+                                      if (i == 13)
+                                          throw std::logic_error("13");
+                                  }),
+                 std::logic_error);
+    // The throwing block abandons its own remaining iterations, but
+    // every other block still runs: with 16 blocks of 4 iterations,
+    // at most 3 indices can be skipped.
+    EXPECT_GE(visited.load(), 61u);
+    // And the pool survives for the next round.
+    EXPECT_EQ(pool.submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRounds)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(0, 100,
+                         [&](std::uint64_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 4950u);
+        EXPECT_EQ(pool.submit([round]() { return round; }).get(),
+                  round);
+    }
+}
+
+McSpec
+boostedSpec()
+{
+    McSpec spec;
+    spec.params.errors.pf = 0.05;
+    spec.params.errors.p01True = 0.3;
+    spec.params.errors.p10True = 0.7;
+    spec.zeros = 1;
+    spec.trials = 100'000;
+    spec.chunkSize = 4'096;
+    return spec;
+}
+
+TEST(RunMc, BitIdenticalAcrossThreadCounts)
+{
+    const McSpec spec = boostedSpec();
+    const McEstimate serial = model::runMc(spec);
+    EXPECT_EQ(serial.trials, spec.trials);
+    for (const unsigned threads : {1u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        const McEstimate parallel = model::runMc(spec, pool);
+        EXPECT_EQ(serial.mean, parallel.mean)
+            << threads << " threads";
+        EXPECT_EQ(serial.stderr, parallel.stderr)
+            << threads << " threads";
+        EXPECT_EQ(serial.trials, parallel.trials);
+    }
+}
+
+TEST(RunMc, UniformSamplerAlsoDeterministic)
+{
+    McSpec spec = boostedSpec();
+    spec.sampler = model::Sampler::Uniform;
+    spec.trials = 50'000;
+    const McEstimate serial = model::runMc(spec);
+    ThreadPool pool(6);
+    const McEstimate parallel = model::runMc(spec, pool);
+    EXPECT_EQ(serial.mean, parallel.mean);
+    EXPECT_EQ(serial.stderr, parallel.stderr);
+}
+
+TEST(RunMc, LegacyWrappersAreThinOverRunMc)
+{
+    const McSpec spec = boostedSpec();
+    const McEstimate wrapped = model::mcExploitableFixedZeros(
+        spec.params, spec.zeros, spec.trials, spec.seed);
+    McSpec defaults = spec;
+    defaults.chunkSize = McSpec{}.chunkSize; // wrapper uses default
+    const McEstimate direct = model::runMc(defaults);
+    EXPECT_EQ(wrapped.mean, direct.mean);
+    EXPECT_EQ(wrapped.stderr, direct.stderr);
+}
+
+TEST(RunMc, RaggedLastChunkCountsAllTrials)
+{
+    McSpec spec = boostedSpec();
+    spec.trials = 10'001; // not a multiple of chunkSize
+    spec.chunkSize = 1'000;
+    const McEstimate serial = model::runMc(spec);
+    EXPECT_EQ(serial.trials, 10'001u);
+    ThreadPool pool(4);
+    EXPECT_EQ(model::runMc(spec, pool).mean, serial.mean);
+}
+
+TEST(Campaign, CellsMatchSerialMachineRunners)
+{
+    using defense::DefenseKind;
+    std::vector<sim::MachineConfig> configs(2);
+    configs[0].defense = DefenseKind::None;
+    configs[1].defense = DefenseKind::Cta;
+    const std::vector<sim::AttackKind> attacks{
+        sim::AttackKind::ProjectZero, sim::AttackKind::Algorithm1};
+
+    sim::Campaign campaign;
+    campaign.addGrid(configs, attacks);
+    ASSERT_EQ(campaign.size(), 4u);
+
+    ThreadPool pool(4);
+    const sim::CampaignReport report = campaign.run(pool);
+    ASSERT_EQ(report.cells.size(), 4u);
+
+    std::size_t index = 0;
+    for (const sim::AttackKind attack : attacks) {
+        for (const sim::MachineConfig &config : configs) {
+            sim::Machine machine(config);
+            const attack::AttackResult expect =
+                machine.runAttack(attack);
+            const sim::CellResult &got = report.cells[index++];
+            EXPECT_EQ(got.cell.attack, attack);
+            EXPECT_EQ(got.cell.config.defense, config.defense);
+            EXPECT_EQ(got.result.outcome, expect.outcome);
+            EXPECT_EQ(got.result.hammerPasses, expect.hammerPasses);
+            EXPECT_EQ(got.result.flipsInduced, expect.flipsInduced);
+            EXPECT_EQ(got.result.ptesCorrupted,
+                      expect.ptesCorrupted);
+            EXPECT_EQ(got.result.selfReferences,
+                      expect.selfReferences);
+            EXPECT_EQ(got.result.attackTime, expect.attackTime);
+        }
+    }
+}
+
+TEST(Campaign, ParallelTableEqualsSerialTable)
+{
+    using defense::DefenseKind;
+    std::vector<sim::MachineConfig> configs(2);
+    configs[0].defense = DefenseKind::Para;
+    configs[1].defense = DefenseKind::Anvil;
+
+    sim::Campaign campaign;
+    campaign.addGrid(configs, {sim::AttackKind::ProjectZero});
+    const sim::CampaignReport serial = campaign.run();
+    ThreadPool pool(4);
+    const sim::CampaignReport parallel = campaign.run(pool);
+    ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+    for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+        EXPECT_EQ(serial.cells[i].result.outcome,
+                  parallel.cells[i].result.outcome);
+        EXPECT_EQ(serial.cells[i].result.flipsInduced,
+                  parallel.cells[i].result.flipsInduced);
+        EXPECT_EQ(serial.cells[i].anvilTriggered,
+                  parallel.cells[i].anvilTriggered);
+    }
+}
+
+TEST(Campaign, DefaultLabelsNameAttackAndDefense)
+{
+    sim::MachineConfig config;
+    config.defense = defense::DefenseKind::Cta;
+    sim::Campaign campaign;
+    campaign.add(config, sim::AttackKind::Drammer);
+    EXPECT_EQ(campaign.cells().at(0).label,
+              "Drammer templating vs CTA");
+}
+
+} // namespace
+} // namespace ctamem
