@@ -1,0 +1,90 @@
+#include "common/bench_report.hh"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace ctamem {
+
+namespace {
+
+/** JSON-escape the characters that can appear in bench names. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Format a double as a valid JSON number (no inf/nan, no 1e+x). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream os;
+    os << std::setprecision(12) << std::fixed << v;
+    std::string s = os.str();
+    // Trim trailing zeros but keep one digit after the point.
+    const auto dot = s.find('.');
+    auto last = s.find_last_not_of('0');
+    if (last == dot)
+        ++last;
+    s.erase(last + 1);
+    return s;
+}
+
+} // namespace
+
+void
+BenchReport::add(const std::string &name, double value,
+                 const std::string &unit, std::uint64_t iterations)
+{
+    entries_[name] = BenchEntry{value, unit, iterations};
+}
+
+void
+BenchReport::writeJson(std::ostream &os) const
+{
+    os << "{\n";
+    bool first = true;
+    for (const auto &[name, entry] : entries_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  \"" << escape(name) << "\": {\"value\": "
+           << jsonNumber(entry.value) << ", \"unit\": \""
+           << escape(entry.unit) << "\", \"iterations\": "
+           << entry.iterations << "}";
+    }
+    os << "\n}\n";
+}
+
+bool
+BenchReport::writeFile(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    writeJson(file);
+    return static_cast<bool>(file);
+}
+
+} // namespace ctamem

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Machine-readable benchmark reports.
+ *
+ * The perf benches append named results here and dump one JSON file
+ * (`BENCH_<name>.json`) per run, so successive PRs can diff the perf
+ * trajectory instead of eyeballing stdout.  Schema: an object mapping
+ * benchmark name -> {value, unit, iterations}.
+ */
+
+#ifndef CTAMEM_COMMON_BENCH_REPORT_HH
+#define CTAMEM_COMMON_BENCH_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace ctamem {
+
+/** One benchmark result. */
+struct BenchEntry
+{
+    double value = 0.0;
+    std::string unit;
+    std::uint64_t iterations = 0;
+};
+
+/** A named collection of benchmark results, serializable to JSON. */
+class BenchReport
+{
+  public:
+    /**
+     * Record one result.  Re-adding a name overwrites the previous
+     * entry, so a bench can refine a result in place.
+     */
+    void add(const std::string &name, double value,
+             const std::string &unit, std::uint64_t iterations);
+
+    const std::map<std::string, BenchEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Emit the whole report as a JSON object. */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Write the JSON report to @p path.
+     * @return false when the file cannot be opened.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::map<std::string, BenchEntry> entries_;
+};
+
+} // namespace ctamem
+
+#endif // CTAMEM_COMMON_BENCH_REPORT_HH

@@ -9,6 +9,7 @@
 #ifndef CTAMEM_COMMON_STATS_HH
 #define CTAMEM_COMMON_STATS_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <map>
@@ -28,54 +29,6 @@ class Counter
 
   private:
     std::uint64_t value_ = 0;
-};
-
-/** Accumulates scalar samples and reports summary statistics. */
-class SampleStat
-{
-  public:
-    void
-    record(double x)
-    {
-        ++count_;
-        sum_ += x;
-        sumSq_ += x * x;
-        if (count_ == 1 || x < min_)
-            min_ = x;
-        if (count_ == 1 || x > max_)
-            max_ = x;
-    }
-
-    void
-    reset()
-    {
-        count_ = 0;
-        sum_ = sumSq_ = min_ = max_ = 0.0;
-    }
-
-    std::uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
-    double min() const { return min_; }
-    double max() const { return max_; }
-
-    double
-    stddev() const
-    {
-        if (count_ < 2)
-            return 0.0;
-        const double m = mean();
-        const double var =
-            (sumSq_ - count_ * m * m) / static_cast<double>(count_ - 1);
-        return var > 0.0 ? std::sqrt(var) : 0.0;
-    }
-
-  private:
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double sumSq_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
 };
 
 /**
@@ -141,6 +94,58 @@ class MomentAccumulator
     double m2_ = 0.0;
 };
 
+/**
+ * Accumulates scalar samples and reports summary statistics.  The
+ * spread is tracked with a MomentAccumulator, so stddev() never forms
+ * the cancellation-prone sum-of-squares difference.
+ */
+class SampleStat
+{
+  public:
+    void
+    record(double x)
+    {
+        moments_.record(x);
+        sum_ += x;
+        if (moments_.count() == 1 || x < min_)
+            min_ = x;
+        if (moments_.count() == 1 || x > max_)
+            max_ = x;
+    }
+
+    void
+    reset()
+    {
+        moments_ = MomentAccumulator{};
+        sum_ = min_ = max_ = 0.0;
+    }
+
+    std::uint64_t count() const { return moments_.count(); }
+    double sum() const { return sum_; }
+    double mean() const { return count() ? sum_ / count() : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Sample standard deviation (n-1 divisor). */
+    double
+    stddev() const
+    {
+        const std::uint64_t n = count();
+        if (n < 2)
+            return 0.0;
+        const double var = moments_.variance() *
+                           (static_cast<double>(n) /
+                            static_cast<double>(n - 1));
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+  private:
+    MomentAccumulator moments_;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
 /** Fixed-width-bucket histogram over [lo, hi). */
 class Histogram
 {
@@ -158,8 +163,12 @@ class Histogram
         } else if (x >= hi_) {
             ++overflow_;
         } else {
-            const auto idx = static_cast<std::size_t>(
-                (x - lo_) / (hi_ - lo_) * counts_.size());
+            // Clamp: for x just below hi_ the scaling can round up
+            // to counts_.size().
+            const auto idx = std::min(
+                static_cast<std::size_t>(
+                    (x - lo_) / (hi_ - lo_) * counts_.size()),
+                counts_.size() - 1);
             ++counts_[idx];
         }
     }
@@ -178,35 +187,72 @@ class Histogram
     std::uint64_t overflow_ = 0;
 };
 
-/** A named bag of counters, for subsystems with many event types. */
+/** Handle to one interned counter of a StatGroup. */
+using StatId = std::uint32_t;
+
+/**
+ * A named bag of counters, for subsystems with many event types.
+ *
+ * Counters are interned: hot paths register a name once (usually at
+ * construction) and bump the returned StatId through at(), a plain
+ * vector index — no string hashing or map walk per event.  The
+ * string-keyed counter()/value()/dump() views stay available for
+ * tests and reports.  References returned by counter()/at() are
+ * invalidated by the next registration of a *new* name.
+ */
 class StatGroup
 {
   public:
-    Counter &counter(const std::string &name) { return counters_[name]; }
+    /** Intern @p name, creating its counter on first use. */
+    StatId
+    registerCounter(const std::string &name)
+    {
+        auto it = index_.find(name);
+        if (it != index_.end())
+            return it->second;
+        const StatId id = static_cast<StatId>(slots_.size());
+        slots_.emplace_back();
+        index_.emplace(name, id);
+        return id;
+    }
+
+    /** The counter behind a registered handle (unchecked, hot). */
+    Counter &at(StatId id) { return slots_[id]; }
+    const Counter &at(StatId id) const { return slots_[id]; }
+
+    std::size_t size() const { return slots_.size(); }
+
+    Counter &
+    counter(const std::string &name)
+    {
+        return slots_[registerCounter(name)];
+    }
 
     std::uint64_t
     value(const std::string &name) const
     {
-        auto it = counters_.find(name);
-        return it == counters_.end() ? 0 : it->second.value();
+        auto it = index_.find(name);
+        return it == index_.end() ? 0 : slots_[it->second].value();
     }
 
     void
     dump(std::ostream &os) const
     {
-        for (const auto &[name, counter] : counters_)
-            os << name << " = " << counter.value() << '\n';
+        for (const auto &[name, id] : index_)
+            os << name << " = " << slots_[id].value() << '\n';
     }
 
     void
     reset()
     {
-        for (auto &[name, counter] : counters_)
+        for (Counter &counter : slots_)
             counter.reset();
     }
 
   private:
-    std::map<std::string, Counter> counters_;
+    /** name -> slot; ordered so dump() stays alphabetical. */
+    std::map<std::string, StatId> index_;
+    std::vector<Counter> slots_;
 };
 
 } // namespace ctamem

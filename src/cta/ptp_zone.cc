@@ -15,6 +15,14 @@ PtpZone::PtpZone(dram::DramModule &module, const CtaConfig &config)
       indicator_(module.geometry().capacity(), config.ptpBytes),
       multiLevel_(config.multiLevelZones)
 {
+    allocsLIds_[0] = failuresLIds_[0] = 0;
+    for (unsigned partition = 1; partition <= 4; ++partition) {
+        allocsLIds_[partition] = stats_.registerCounter(
+            "allocsL" + std::to_string(partition));
+        failuresLIds_[partition] = stats_.registerCounter(
+            "failuresL" + std::to_string(partition));
+    }
+    freesId_ = stats_.registerCounter("frees");
     const auto &geom = module.geometry();
     const std::uint64_t row_bytes = geom.rowBytes();
     const std::uint64_t capacity = geom.capacity();
@@ -158,7 +166,7 @@ PtpZone::allocate(unsigned level)
     if (level < 1 || level > 4)
         fatal("PtpZone::allocate: level must be 1..4, got ", level);
     const unsigned partition = multiLevel_ ? level : 1;
-    stats_.counter("allocsL" + std::to_string(partition)).increment();
+    stats_.at(allocsLIds_[partition]).increment();
     for (mm::BuddyAllocator &buddy : levelBuddies_[partition]) {
         if (auto pfn = buddy.allocate(0)) {
             static const std::array<std::uint8_t, pageSize> zeros{};
@@ -166,14 +174,14 @@ PtpZone::allocate(unsigned level)
             return pfn;
         }
     }
-    stats_.counter("failuresL" + std::to_string(partition)).increment();
+    stats_.at(failuresLIds_[partition]).increment();
     return std::nullopt;
 }
 
 void
 PtpZone::free(Pfn pfn)
 {
-    stats_.counter("frees").increment();
+    stats_.at(freesId_).increment();
     for (unsigned level = 1; level <= 4; ++level) {
         for (mm::BuddyAllocator &buddy : levelBuddies_[level]) {
             if (buddy.contains(pfn)) {

@@ -113,6 +113,10 @@ class PtpZone
     std::array<std::vector<mm::FrameSpan>, 5> levelSpans_;
 
     StatGroup stats_;
+    /** Per-partition alloc/failure handles (index 0 unused). */
+    std::array<StatId, 5> allocsLIds_;
+    std::array<StatId, 5> failuresLIds_;
+    StatId freesId_;
 };
 
 } // namespace ctamem::cta

@@ -87,7 +87,7 @@ RowHammerEngine::hammerRow(std::uint64_t bank, std::uint64_t row)
         fatal("hammerRow: row out of range");
 
     HammerResult result;
-    stats_.counter("passes").increment();
+    stats_.at(passesId_).increment();
 
     const std::uint64_t aggressor = module_.deviceRow(bank, row);
     std::vector<std::uint64_t> victims;
@@ -100,15 +100,15 @@ RowHammerEngine::hammerRow(std::uint64_t bank, std::uint64_t row)
         observer_->onHammer(bank, aggressor, activationsPerPass,
                             victims)) {
         result.suppressed = true;
-        stats_.counter("suppressedPasses").increment();
+        stats_.at(suppressedPassesId_).increment();
         return result;
     }
 
     for (std::uint64_t victim : victims)
         disturbDeviceRow(bank, victim, singleSidedIntensity, result);
 
-    stats_.counter("flips10").increment(result.flips10);
-    stats_.counter("flips01").increment(result.flips01);
+    stats_.at(flips10Id_).increment(result.flips10);
+    stats_.at(flips01Id_).increment(result.flips01);
     return result;
 }
 
@@ -121,7 +121,7 @@ RowHammerEngine::hammerDoubleSided(std::uint64_t bank,
         fatal("hammerDoubleSided: row out of range");
 
     HammerResult result;
-    stats_.counter("passes").increment();
+    stats_.at(passesId_).increment();
 
     const std::uint64_t victim = module_.deviceRow(bank, victim_row);
     if (victim == 0 || victim + 1 >= geom.rowsPerBank()) {
@@ -141,7 +141,7 @@ RowHammerEngine::hammerDoubleSided(std::uint64_t bank,
     }
     if (suppressed) {
         result.suppressed = true;
-        stats_.counter("suppressedPasses").increment();
+        stats_.at(suppressedPassesId_).increment();
         return result;
     }
 
@@ -152,8 +152,8 @@ RowHammerEngine::hammerDoubleSided(std::uint64_t bank,
     if (victim + 2 < geom.rowsPerBank())
         disturbDeviceRow(bank, victim + 2, singleSidedIntensity, result);
 
-    stats_.counter("flips10").increment(result.flips10);
-    stats_.counter("flips01").increment(result.flips01);
+    stats_.at(flips10Id_).increment(result.flips10);
+    stats_.at(flips01Id_).increment(result.flips01);
     return result;
 }
 

@@ -87,7 +87,12 @@ class RowHammerEngine
     explicit RowHammerEngine(DramModule &module,
                              DisturbanceObserver *observer = nullptr)
         : module_(module), observer_(observer)
-    {}
+    {
+        passesId_ = stats_.registerCounter("passes");
+        suppressedPassesId_ = stats_.registerCounter("suppressedPasses");
+        flips10Id_ = stats_.registerCounter("flips10");
+        flips01Id_ = stats_.registerCounter("flips01");
+    }
 
     void setObserver(DisturbanceObserver *observer)
     {
@@ -128,6 +133,10 @@ class RowHammerEngine
     std::unordered_map<std::uint64_t, std::vector<VulnerableBit>>
         vulnCache_;
     StatGroup stats_;
+    StatId passesId_;
+    StatId suppressedPassesId_;
+    StatId flips10Id_;
+    StatId flips01Id_;
 };
 
 } // namespace ctamem::dram

@@ -10,42 +10,8 @@ DramModule::DramModule(const DramConfig &config)
                 config.scheme),
       faults_(config.seed, config.errors)
 {
-}
-
-void
-DramModule::read(Addr addr, void *out, std::size_t len) const
-{
-    store_.read(addr, out, len);
-}
-
-void
-DramModule::write(Addr addr, const void *in, std::size_t len)
-{
-    store_.write(addr, in, len);
-}
-
-std::uint8_t
-DramModule::readByte(Addr addr) const
-{
-    return store_.readByte(addr);
-}
-
-void
-DramModule::writeByte(Addr addr, std::uint8_t value)
-{
-    store_.writeByte(addr, value);
-}
-
-std::uint64_t
-DramModule::readU64(Addr addr) const
-{
-    return store_.readU64(addr);
-}
-
-void
-DramModule::writeU64(Addr addr, std::uint64_t value)
-{
-    store_.writeU64(addr, value);
+    remapsId_ = stats_.registerCounter("remaps");
+    decayedBitsId_ = stats_.registerCounter("decayedBits");
 }
 
 std::uint64_t
@@ -99,7 +65,7 @@ DramModule::remapRow(std::uint64_t bank, std::uint64_t row,
     }
     remapByLogical_[{bank, row}] = spare_row;
     remapByLogical_[{bank, spare_row}] = row;
-    stats_.counter("remaps").increment();
+    stats_.at(remapsId_).increment();
 }
 
 void
@@ -125,7 +91,7 @@ DramModule::powerOff(SimTime duration, double celsius)
 void
 DramModule::decayTouchedFrames(SimTime unrefreshed, double celsius)
 {
-    Counter &decayed = stats_.counter("decayedBits");
+    Counter &decayed = stats_.at(decayedBitsId_);
     for (Pfn pfn : store_.touchedFrames()) {
         const Addr base = pfnToAddr(pfn);
         const CellType type = cellTypeAt(base);

@@ -52,14 +52,43 @@ class DramModule
     SparseStore &store() { return store_; }
     const SparseStore &store() const { return store_; }
 
-    /** @name Data access (logical physical addresses) */
+    /** @name Data access (logical physical addresses)
+     *
+     * Inline pass-throughs to the store so the walker's per-level
+     * entry reads compile down to the store's frame-cache fast path.
+     */
     /** @{ */
-    void read(Addr addr, void *out, std::size_t len) const;
-    void write(Addr addr, const void *in, std::size_t len);
-    std::uint8_t readByte(Addr addr) const;
-    void writeByte(Addr addr, std::uint8_t value);
-    std::uint64_t readU64(Addr addr) const;
-    void writeU64(Addr addr, std::uint64_t value);
+    void
+    read(Addr addr, void *out, std::size_t len) const
+    {
+        store_.read(addr, out, len);
+    }
+
+    void
+    write(Addr addr, const void *in, std::size_t len)
+    {
+        store_.write(addr, in, len);
+    }
+
+    std::uint8_t readByte(Addr addr) const
+    {
+        return store_.readByte(addr);
+    }
+
+    void writeByte(Addr addr, std::uint8_t value)
+    {
+        store_.writeByte(addr, value);
+    }
+
+    std::uint64_t readU64(Addr addr) const
+    {
+        return store_.readU64(addr);
+    }
+
+    void writeU64(Addr addr, std::uint64_t value)
+    {
+        store_.writeU64(addr, value);
+    }
     /** @} */
 
     /** @name Cell-type and row queries */
@@ -155,6 +184,8 @@ class DramModule
         remapByLogical_;
 
     StatGroup stats_;
+    StatId remapsId_;
+    StatId decayedBitsId_;
 };
 
 } // namespace ctamem::dram

@@ -5,14 +5,18 @@
 namespace ctamem::dram {
 
 const std::uint8_t *
-SparseStore::peek(Pfn pfn) const
+SparseStore::peekSlow(Pfn pfn) const
 {
     auto it = frames_.find(pfn);
-    return it == frames_.end() ? nullptr : it->second.get();
+    if (it == frames_.end())
+        return nullptr;
+    cachedPfn_ = pfn;
+    cachedFrame_ = it->second.get();
+    return cachedFrame_;
 }
 
 std::uint8_t *
-SparseStore::touch(Pfn pfn)
+SparseStore::touchSlow(Pfn pfn)
 {
     auto it = frames_.find(pfn);
     if (it == frames_.end()) {
@@ -20,7 +24,9 @@ SparseStore::touch(Pfn pfn)
         std::memset(frame.get(), fill_, pageSize);
         it = frames_.emplace(pfn, std::move(frame)).first;
     }
-    return it->second.get();
+    cachedPfn_ = pfn;
+    cachedFrame_ = it->second.get();
+    return cachedFrame_;
 }
 
 void
@@ -56,34 +62,6 @@ SparseStore::write(Addr addr, const void *in, std::size_t len)
         addr += chunk;
         len -= chunk;
     }
-}
-
-std::uint8_t
-SparseStore::readByte(Addr addr) const
-{
-    if (const std::uint8_t *frame = peek(addrToPfn(addr)))
-        return frame[addr & pageMask];
-    return fill_;
-}
-
-void
-SparseStore::writeByte(Addr addr, std::uint8_t value)
-{
-    touch(addrToPfn(addr))[addr & pageMask] = value;
-}
-
-std::uint64_t
-SparseStore::readU64(Addr addr)const
-{
-    std::uint64_t value = 0;
-    read(addr, &value, sizeof(value));
-    return value;
-}
-
-void
-SparseStore::writeU64(Addr addr, std::uint64_t value)
-{
-    write(addr, &value, sizeof(value));
 }
 
 bool

@@ -5,6 +5,14 @@
  * We simulate machines with 8-128 GiB of DRAM; only the frames a test
  * or attack actually touches get materialized (4 KiB at a time).
  * Untouched memory reads as the frame fill pattern.
+ *
+ * Hot-path design: a one-entry last-frame cache (pfn + frame pointer)
+ * lets sequential and page-local accesses — page walks hammering the
+ * same table frames, streaming workloads — skip the hash lookup, and
+ * the word accessors memcpy within a frame instead of going through
+ * the byte-wise span loop.  Frame storage is heap-allocated per page,
+ * so the cached pointer stays valid across map rehashes; only clear()
+ * invalidates it.
  */
 
 #ifndef CTAMEM_DRAM_SPARSE_STORE_HH
@@ -34,16 +42,52 @@ class SparseStore
     void write(Addr addr, const void *in, std::size_t len);
 
     /** Read one byte. */
-    std::uint8_t readByte(Addr addr) const;
+    std::uint8_t
+    readByte(Addr addr) const
+    {
+        if (const std::uint8_t *frame = peek(addrToPfn(addr)))
+            return frame[addr & pageMask];
+        return fill_;
+    }
 
     /** Write one byte. */
-    void writeByte(Addr addr, std::uint8_t value);
+    void
+    writeByte(Addr addr, std::uint8_t value)
+    {
+        touch(addrToPfn(addr))[addr & pageMask] = value;
+    }
 
     /** Read a little-endian 64-bit word. */
-    std::uint64_t readU64(Addr addr) const;
+    std::uint64_t
+    readU64(Addr addr) const
+    {
+        const std::size_t offset = addr & pageMask;
+        std::uint64_t value;
+        if (offset + sizeof(value) <= pageSize) {
+            if (const std::uint8_t *frame = peek(addrToPfn(addr)))
+                std::memcpy(&value, frame + offset, sizeof(value));
+            else
+                std::memset(&value, fill_, sizeof(value));
+            return value;
+        }
+        // Straddles a frame boundary: take the span-wise slow path.
+        value = 0;
+        read(addr, &value, sizeof(value));
+        return value;
+    }
 
     /** Write a little-endian 64-bit word. */
-    void writeU64(Addr addr, std::uint64_t value);
+    void
+    writeU64(Addr addr, std::uint64_t value)
+    {
+        const std::size_t offset = addr & pageMask;
+        if (offset + sizeof(value) <= pageSize) {
+            std::memcpy(touch(addrToPfn(addr)) + offset, &value,
+                        sizeof(value));
+            return;
+        }
+        write(addr, &value, sizeof(value));
+    }
 
     /** Read one bit (bit @p bit of the byte at @p addr). */
     bool readBit(Addr addr, unsigned bit) const;
@@ -61,19 +105,44 @@ class SparseStore
     std::vector<Pfn> touchedFrames() const;
 
     /** Drop every materialized frame (memory returns to fill value). */
-    void clear() { frames_.clear(); }
+    void
+    clear()
+    {
+        frames_.clear();
+        cachedPfn_ = invalidPfn;
+        cachedFrame_ = nullptr;
+    }
 
   private:
     using Frame = std::unique_ptr<std::uint8_t[]>;
 
     /** Frame for @p pfn, or nullptr when never written. */
-    const std::uint8_t *peek(Pfn pfn) const;
+    const std::uint8_t *
+    peek(Pfn pfn) const
+    {
+        if (pfn == cachedPfn_)
+            return cachedFrame_;
+        return peekSlow(pfn);
+    }
 
     /** Frame for @p pfn, materializing it on first use. */
-    std::uint8_t *touch(Pfn pfn);
+    std::uint8_t *
+    touch(Pfn pfn)
+    {
+        if (pfn == cachedPfn_)
+            return cachedFrame_;
+        return touchSlow(pfn);
+    }
+
+    const std::uint8_t *peekSlow(Pfn pfn) const;
+    std::uint8_t *touchSlow(Pfn pfn);
 
     std::uint8_t fill_;
     std::unordered_map<Pfn, Frame> frames_;
+
+    /** Last materialized frame hit (never caches absent frames). */
+    mutable Pfn cachedPfn_ = invalidPfn;
+    mutable std::uint8_t *cachedFrame_ = nullptr;
 };
 
 } // namespace ctamem::dram

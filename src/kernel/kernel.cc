@@ -74,6 +74,19 @@ zebramZoneSpecs(const dram::Geometry &geom)
 
 Kernel::Kernel(const KernelConfig &config) : config_(config)
 {
+    processesCreatedId_ = stats_.registerCounter("processesCreated");
+    deviceBuffersId_ = stats_.registerCounter("deviceBuffers");
+    mmapsId_ = stats_.registerCounter("mmaps");
+    largeMmapsId_ = stats_.registerCounter("largeMmaps");
+    munmapsId_ = stats_.registerCounter("munmaps");
+    pageFaultsId_ = stats_.registerCounter("pageFaults");
+    segfaultsId_ = stats_.registerCounter("segfaults");
+    oomFaultsId_ = stats_.registerCounter("oomFaults");
+    pteAllocFaultsId_ = stats_.registerCounter("pteAllocFaults");
+    pteAllocsId_ = stats_.registerCounter("pteAllocs");
+    pteAllocFailuresId_ = stats_.registerCounter("pteAllocFailures");
+    ptReclaimsId_ = stats_.registerCounter("ptReclaims");
+
     dram_ = std::make_unique<dram::DramModule>(config.dram);
 
     std::vector<ZoneSpec> specs;
@@ -152,7 +165,7 @@ Kernel::createProcess(const std::string &name, bool trusted)
         [this](Pfn pfn) { pteFree(pfn); }, *root);
 
     processes_.emplace(pid, std::move(proc));
-    stats_.counter("processesCreated").increment();
+    stats_.at(processesCreatedId_).increment();
     return pid;
 }
 
@@ -213,7 +226,7 @@ Kernel::createDeviceBuffer(std::uint64_t length)
         buffer.frames.emplace(idx, *pfn);
     }
     files_[fd] = std::move(buffer);
-    stats_.counter("deviceBuffers").increment();
+    stats_.at(deviceBuffersId_).increment();
     return fd;
 }
 
@@ -254,7 +267,7 @@ Kernel::mmapFile(int pid, int fd, std::uint64_t length,
     if (base == 0)
         return 0;
     proc.vmas.push_back(Vma{base, length, prot, fd, file_offset});
-    stats_.counter("mmaps").increment();
+    stats_.at(mmapsId_).increment();
     return base;
 }
 
@@ -285,8 +298,8 @@ Kernel::mmapAnonLarge(int pid, const PageFlags &prot, unsigned level,
     }
     proc.vmas.push_back(Vma{base, length, prot, -1, 0, level});
     proc.anonFrames[base] = *frame;
-    stats_.counter("mmaps").increment();
-    stats_.counter("largeMmaps").increment();
+    stats_.at(mmapsId_).increment();
+    stats_.at(largeMmapsId_).increment();
     return base;
 }
 
@@ -302,7 +315,7 @@ Kernel::mmapAnon(int pid, std::uint64_t length, const PageFlags &prot,
     if (base == 0)
         return 0;
     proc.vmas.push_back(Vma{base, length, prot, -1, 0});
-    stats_.counter("mmaps").increment();
+    stats_.at(mmapsId_).increment();
     return base;
 }
 
@@ -328,7 +341,7 @@ Kernel::munmap(int pid, VAddr start)
         }
     }
     proc.vmas.erase(it);
-    stats_.counter("munmaps").increment();
+    stats_.at(munmapsId_).increment();
     return true;
 }
 
@@ -343,12 +356,12 @@ Kernel::vmaLeafFlags(const Vma &vma) const
 bool
 Kernel::handlePageFault(Process &proc, VAddr vaddr)
 {
-    stats_.counter("pageFaults").increment();
+    stats_.at(pageFaultsId_).increment();
     proc.pageFaults.increment();
 
     Vma *vma = proc.findVma(vaddr);
     if (!vma) {
-        stats_.counter("segfaults").increment();
+        stats_.at(segfaultsId_).increment();
         return false;
     }
 
@@ -359,14 +372,14 @@ Kernel::handlePageFault(Process &proc, VAddr vaddr)
         // with its PS entry (the block itself never went away).
         auto resident = proc.anonFrames.find(vma->start);
         if (resident == proc.anonFrames.end()) {
-            stats_.counter("segfaults").increment();
+            stats_.at(segfaultsId_).increment();
             return false;
         }
         PageFlags flags = vma->prot;
         flags.user = true;
         if (!proc.space->mapLarge(vma->start, resident->second,
                                   flags, vma->largeLevel)) {
-            stats_.counter("pteAllocFaults").increment();
+            stats_.at(pteAllocFaultsId_).increment();
             return false;
         }
         return true;
@@ -381,7 +394,7 @@ Kernel::handlePageFault(Process &proc, VAddr vaddr)
             auto frame = phys_->allocate(
                 dataFlags(proc, PageKind::UserData), 0, proc.pid);
             if (!frame) {
-                stats_.counter("oomFaults").increment();
+                stats_.at(oomFaultsId_).increment();
                 return false;
             }
             pfn = *frame;
@@ -392,14 +405,14 @@ Kernel::handlePageFault(Process &proc, VAddr vaddr)
         const std::uint64_t page_idx =
             (page - vma->start + vma->fileOffset) / pageSize;
         if (page_idx * pageSize >= file.length) {
-            stats_.counter("segfaults").increment();
+            stats_.at(segfaultsId_).increment();
             return false;
         }
         auto cached = file.frames.find(page_idx);
         if (cached == file.frames.end()) {
             auto frame = phys_->allocate(mm::GFP_FILE);
             if (!frame) {
-                stats_.counter("oomFaults").increment();
+                stats_.at(oomFaultsId_).increment();
                 return false;
             }
             // Deterministic, recognizable file contents.
@@ -413,7 +426,7 @@ Kernel::handlePageFault(Process &proc, VAddr vaddr)
     if (!proc.space->map(page, pfn, vmaLeafFlags(*vma))) {
         // pte_alloc_one failed even after reclaim — the PTP zone is
         // exhausted beyond relief.
-        stats_.counter("pteAllocFaults").increment();
+        stats_.at(pteAllocFaultsId_).increment();
         return false;
     }
     return true;
@@ -475,7 +488,7 @@ Kernel::flushTlb()
 std::optional<Pfn>
 Kernel::pteAllocOne(unsigned level, int pid)
 {
-    stats_.counter("pteAllocs").increment();
+    stats_.at(pteAllocsId_).increment();
     std::optional<Pfn> pfn;
     if (ptp_) {
         pfn = ptp_->allocate(level);
@@ -485,7 +498,7 @@ Kernel::pteAllocOne(unsigned level, int pid)
         pfn = phys_->allocate(pteFlags_, 0, pid);
     }
     if (!pfn) {
-        stats_.counter("pteAllocFailures").increment();
+        stats_.at(pteAllocFailuresId_).increment();
         return std::nullopt;
     }
     ptFrameLevels_[*pfn] = level;
@@ -505,7 +518,7 @@ Kernel::reclaimLeafTable()
             // is about to be re-used: flush, as an IPI shootdown
             // would.
             mmu_->tlb().flushAll();
-            stats_.counter("ptReclaims").increment();
+            stats_.at(ptReclaimsId_).increment();
             return true;
         }
     }

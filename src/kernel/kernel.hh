@@ -239,6 +239,20 @@ class Kernel
 
     SimTime now_ = 0;
     StatGroup stats_;
+
+    /** Interned handles for the per-fault / per-syscall counters. */
+    StatId processesCreatedId_;
+    StatId deviceBuffersId_;
+    StatId mmapsId_;
+    StatId largeMmapsId_;
+    StatId munmapsId_;
+    StatId pageFaultsId_;
+    StatId segfaultsId_;
+    StatId oomFaultsId_;
+    StatId pteAllocFaultsId_;
+    StatId pteAllocsId_;
+    StatId pteAllocFailuresId_;
+    StatId ptReclaimsId_;
 };
 
 } // namespace ctamem::kernel

@@ -8,6 +8,11 @@ namespace ctamem::mm {
 BuddyAllocator::BuddyAllocator(Pfn base_pfn, std::uint64_t frames)
     : basePfn_(base_pfn), frames_(frames)
 {
+    allocCallsId_ = stats_.registerCounter("allocCalls");
+    freeCallsId_ = stats_.registerCounter("freeCalls");
+    splitsId_ = stats_.registerCounter("splits");
+    mergesId_ = stats_.registerCounter("merges");
+    failuresId_ = stats_.registerCounter("failures");
     // Tile the range greedily with the largest naturally aligned
     // blocks that fit, exactly as memblock hands pages to the buddy
     // system at boot.
@@ -38,9 +43,9 @@ BuddyAllocator::insertFree(Pfn pfn, unsigned order)
 std::optional<Pfn>
 BuddyAllocator::allocate(unsigned order)
 {
-    stats_.counter("allocCalls").increment();
+    stats_.at(allocCallsId_).increment();
     if (order > maxOrder) {
-        stats_.counter("failures").increment();
+        stats_.at(failuresId_).increment();
         return std::nullopt;
     }
 
@@ -49,7 +54,7 @@ BuddyAllocator::allocate(unsigned order)
     while (found <= maxOrder && freeLists_[found].empty())
         ++found;
     if (found > maxOrder) {
-        stats_.counter("failures").increment();
+        stats_.at(failuresId_).increment();
         return std::nullopt;
     }
 
@@ -60,7 +65,7 @@ BuddyAllocator::allocate(unsigned order)
         --found;
         // Keep the lower half, free the upper half.
         insertFree(pfn + (1ULL << found), found);
-        stats_.counter("splits").increment();
+        stats_.at(splitsId_).increment();
     }
     freeFrames_ -= 1ULL << order;
     return pfn;
@@ -69,7 +74,7 @@ BuddyAllocator::allocate(unsigned order)
 void
 BuddyAllocator::free(Pfn pfn, unsigned order)
 {
-    stats_.counter("freeCalls").increment();
+    stats_.at(freeCallsId_).increment();
     if (!contains(pfn) || order > maxOrder)
         ctamem_panic("free of pfn ", pfn, " outside allocator range");
     if (isFree(pfn, 0))
@@ -86,7 +91,7 @@ BuddyAllocator::free(Pfn pfn, unsigned order)
         freeLists_[order].erase(it);
         pfn = std::min(pfn, buddy);
         ++order;
-        stats_.counter("merges").increment();
+        stats_.at(mergesId_).increment();
     }
     insertFree(pfn, order);
 }

@@ -78,6 +78,11 @@ class BuddyAllocator
     std::uint64_t freeFrames_ = 0;
     std::array<std::set<Pfn>, maxOrder + 1> freeLists_;
     StatGroup stats_;
+    StatId allocCallsId_;
+    StatId freeCallsId_;
+    StatId splitsId_;
+    StatId mergesId_;
+    StatId failuresId_;
 };
 
 } // namespace ctamem::mm

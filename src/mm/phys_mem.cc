@@ -75,6 +75,10 @@ PhysicalMemory::PhysicalMemory(dram::DramModule &module,
                                std::vector<ZoneSpec> specs)
     : module_(module)
 {
+    allocsId_ = stats_.registerCounter("allocs");
+    fallbacksId_ = stats_.registerCounter("fallbacks");
+    failuresId_ = stats_.registerCounter("failures");
+    freesId_ = stats_.registerCounter("frees");
     const std::uint64_t total_frames =
         module.geometry().capacity() / pageSize;
     for (const ZoneSpec &spec : specs) {
@@ -106,7 +110,7 @@ std::optional<Pfn>
 PhysicalMemory::allocate(const GfpFlags &flags, unsigned order,
                          std::int32_t owner)
 {
-    stats_.counter("allocs").increment();
+    stats_.at(allocsId_).increment();
     const std::vector<ZoneId> chain = fallbackChain(flags.zone);
     bool first = true;
     for (ZoneId id : chain) {
@@ -114,7 +118,7 @@ PhysicalMemory::allocate(const GfpFlags &flags, unsigned order,
         if (candidate) {
             if (auto pfn = candidate->allocate(order)) {
                 if (!first)
-                    stats_.counter("fallbacks").increment();
+                    stats_.at(fallbacksId_).increment();
                 pages_[*pfn] = PageInfo{flags.kind, owner, order};
                 // Fresh pages are handed out zeroed.
                 static const std::array<std::uint8_t, pageSize> zeros{};
@@ -129,7 +133,7 @@ PhysicalMemory::allocate(const GfpFlags &flags, unsigned order,
             break;
         first = false;
     }
-    stats_.counter("failures").increment();
+    stats_.at(failuresId_).increment();
     return std::nullopt;
 }
 
@@ -144,7 +148,7 @@ PhysicalMemory::free(Pfn pfn)
         ctamem_panic("free of pfn ", pfn, " outside every zone");
     owner_zone->free(pfn, it->second.order);
     pages_.erase(it);
-    stats_.counter("frees").increment();
+    stats_.at(freesId_).increment();
 }
 
 Zone *

@@ -94,6 +94,10 @@ class PhysicalMemory
     /** Head-frame -> info for live allocations. */
     std::unordered_map<Pfn, PageInfo> pages_;
     StatGroup stats_;
+    StatId allocsId_;
+    StatId fallbacksId_;
+    StatId failuresId_;
+    StatId freesId_;
 };
 
 } // namespace ctamem::mm

@@ -20,6 +20,9 @@ zoneName(ZoneId id)
 
 Zone::Zone(const ZoneSpec &spec) : id_(spec.id), spans_(spec.spans)
 {
+    allocsId_ = stats_.registerCounter("allocs");
+    freesId_ = stats_.registerCounter("frees");
+    failuresId_ = stats_.registerCounter("failures");
     for (const FrameSpan &span : spans_) {
         if (span.frames == 0)
             fatal("zone ", name(), " has an empty span");
@@ -30,19 +33,19 @@ Zone::Zone(const ZoneSpec &spec) : id_(spec.id), spans_(spec.spans)
 std::optional<Pfn>
 Zone::allocate(unsigned order)
 {
-    stats_.counter("allocs").increment();
+    stats_.at(allocsId_).increment();
     for (BuddyAllocator &buddy : buddies_) {
         if (auto pfn = buddy.allocate(order))
             return pfn;
     }
-    stats_.counter("failures").increment();
+    stats_.at(failuresId_).increment();
     return std::nullopt;
 }
 
 void
 Zone::free(Pfn pfn, unsigned order)
 {
-    stats_.counter("frees").increment();
+    stats_.at(freesId_).increment();
     for (BuddyAllocator &buddy : buddies_) {
         if (buddy.contains(pfn)) {
             buddy.free(pfn, order);

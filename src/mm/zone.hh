@@ -83,6 +83,9 @@ class Zone
     std::vector<FrameSpan> spans_;
     std::vector<BuddyAllocator> buddies_;
     StatGroup stats_;
+    StatId allocsId_;
+    StatId freesId_;
+    StatId failuresId_;
 };
 
 } // namespace ctamem::mm

@@ -7,14 +7,20 @@
  * exists so that caching behaviour — and the attacker's need to
  * defeat it — is represented, and so the performance harness can
  * report hit rates.
+ *
+ * The organisation is N-way set-associative over contiguous storage:
+ * lookup scans one set of at most `ways()` slots and replacement uses
+ * per-set LRU stamp counters, so neither hits nor fills allocate.
+ * Capacities of at most one way collapse to a single fully
+ * associative LRU set — exactly the old list-based model, which is
+ * what the small TLBs in the tests exercise.
  */
 
 #ifndef CTAMEM_PAGING_TLB_HH
 #define CTAMEM_PAGING_TLB_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -32,16 +38,23 @@ struct TlbEntry
     bool user;
 };
 
-/** Fully associative LRU TLB. */
+/** Set-associative LRU TLB. */
 class Tlb
 {
   public:
-    explicit Tlb(std::size_t capacity = 64) : capacity_(capacity) {}
+    /**
+     * @param capacity total number of entries
+     * @param ways     target associativity; the set count is the
+     *                 largest power of two with sets*ways <= capacity
+     *                 (one fully associative set of @p capacity
+     *                 entries when capacity <= ways)
+     */
+    explicit Tlb(std::size_t capacity = 64, std::size_t ways = 8);
 
     /** Look up (root, vaddr); nullptr on miss. */
     const TlbEntry *lookup(Pfn root, VAddr vaddr);
 
-    /** Insert a translation (evicting LRU if full). */
+    /** Insert a translation (evicting the set's LRU when full). */
     void insert(const TlbEntry &entry);
 
     /** Drop everything (the attack's clflush/reload step). */
@@ -50,17 +63,21 @@ class Tlb
     /** Drop one page's translation across all address spaces. */
     void flushPage(VAddr vaddr);
 
-    std::size_t size() const { return lru_.size(); }
+    std::size_t size() const { return live_; }
+    std::size_t ways() const { return ways_; }
+    std::size_t sets() const { return sets_; }
+    std::size_t capacity() const { return sets_ * ways_; }
 
     /** Counters: hits, misses, evictions, flushes. */
     StatGroup &stats() { return stats_; }
 
   private:
-    static std::uint64_t
-    key(Pfn root, VAddr vpn)
+    struct Slot
     {
-        return splitKey(root) ^ vpn;
-    }
+        TlbEntry entry{};
+        std::uint64_t stamp = 0; //!< set-clock value at last use
+        bool valid = false;
+    };
 
     static std::uint64_t
     splitKey(Pfn root)
@@ -68,12 +85,24 @@ class Tlb
         return root * 0x9e3779b97f4a7c15ULL;
     }
 
-    std::size_t capacity_;
-    /** LRU order: front = most recent. */
-    std::list<TlbEntry> lru_;
-    std::unordered_map<std::uint64_t, std::list<TlbEntry>::iterator>
-        index_;
+    /** Set index: low VPN bits, offset per address space. */
+    std::size_t
+    setIndex(Pfn root, VAddr vpn) const
+    {
+        return static_cast<std::size_t>(
+            (vpn ^ (splitKey(root) >> 40)) & (sets_ - 1));
+    }
+
+    std::size_t ways_;
+    std::size_t sets_; //!< always a power of two
+    std::size_t live_ = 0;
+    std::vector<Slot> slots_;            //!< sets_ * ways_, set-major
+    std::vector<std::uint64_t> clocks_;  //!< per-set LRU stamp source
     StatGroup stats_;
+    StatId hitsId_;
+    StatId missesId_;
+    StatId evictionsId_;
+    StatId flushesId_;
 };
 
 } // namespace ctamem::paging

@@ -1,12 +1,27 @@
 #include "paging/walker.hh"
 
+#include <string>
+
 namespace ctamem::paging {
+
+PageWalker::PageWalker(dram::DramModule &module) : module_(module)
+{
+    walksId_ = stats_.registerCounter("walks");
+    faultsId_ = stats_.registerCounter("faults");
+    // The per-walk "leafLevel" + to_string allocation was the single
+    // hottest stat; pre-register one handle per possible leaf level.
+    leafLevelIds_[0] = walksId_; // unused
+    for (unsigned level = 1; level <= maxLeafLevel; ++level) {
+        leafLevelIds_[level] = stats_.registerCounter(
+            "leafLevel" + std::to_string(level));
+    }
+}
 
 WalkResult
 PageWalker::walk(Pfn root, VAddr vaddr, AccessType access,
                  Privilege privilege)
 {
-    stats_.counter("walks").increment();
+    stats_.at(walksId_).increment();
     const std::uint64_t capacity = module_.geometry().capacity();
 
     WalkResult result;
@@ -19,14 +34,14 @@ PageWalker::walk(Pfn root, VAddr vaddr, AccessType access,
             pfnToAddr(table) + tableIndex(vaddr, level) * 8;
         if (entry_addr + 8 > capacity) {
             result.fault = Fault::OutOfRange;
-            stats_.counter("faults").increment();
+            stats_.at(faultsId_).increment();
             return result;
         }
         const Pte entry(module_.readU64(entry_addr));
 
         if (!entry.present()) {
             result.fault = Fault::NotPresent;
-            stats_.counter("faults").increment();
+            stats_.at(faultsId_).increment();
             return result;
         }
 
@@ -39,12 +54,12 @@ PageWalker::walk(Pfn root, VAddr vaddr, AccessType access,
         if (leaf) {
             if (privilege == Privilege::User && !result.user) {
                 result.fault = Fault::Protection;
-                stats_.counter("faults").increment();
+                stats_.at(faultsId_).increment();
                 return result;
             }
             if (access == AccessType::Write && !result.writable) {
                 result.fault = Fault::Protection;
-                stats_.counter("faults").increment();
+                stats_.at(faultsId_).increment();
                 return result;
             }
             const std::uint64_t coverage = levelCoverage(level);
@@ -55,20 +70,19 @@ PageWalker::walk(Pfn root, VAddr vaddr, AccessType access,
                 (base & ~(coverage - 1)) | (vaddr & (coverage - 1));
             if (phys >= capacity) {
                 result.fault = Fault::OutOfRange;
-                stats_.counter("faults").increment();
+                stats_.at(faultsId_).increment();
                 return result;
             }
             result.phys = phys;
             result.leafLevel = level;
-            stats_.counter("leafLevel" + std::to_string(level))
-                .increment();
+            stats_.at(leafLevelIds_[level]).increment();
             return result;
         }
 
         table = entry.pfn();
         if (pfnToAddr(table) >= capacity) {
             result.fault = Fault::OutOfRange;
-            stats_.counter("faults").increment();
+            stats_.at(faultsId_).increment();
             return result;
         }
     }

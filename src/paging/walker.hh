@@ -52,7 +52,7 @@ struct WalkResult
 class PageWalker
 {
   public:
-    explicit PageWalker(dram::DramModule &module) : module_(module) {}
+    explicit PageWalker(dram::DramModule &module);
 
     /**
      * Translate @p vaddr through the hierarchy rooted at @p root.
@@ -77,8 +77,15 @@ class PageWalker
     StatGroup &stats() { return stats_; }
 
   private:
+    /** Largest level a leaf can occur at (1 GiB pages). */
+    static constexpr unsigned maxLeafLevel = 3;
+
     dram::DramModule &module_;
     StatGroup stats_;
+    StatId walksId_;
+    StatId faultsId_;
+    /** Pre-registered "leafLevel<n>" handles, indexed by level. */
+    StatId leafLevelIds_[maxLeafLevel + 1];
 };
 
 } // namespace ctamem::paging

@@ -88,8 +88,11 @@ printPerfTable(std::ostream &os, const std::string &title,
            << row.wallDeltaPct << '\n';
         sum_delta += row.deltaPct();
     }
+    const double mean_delta =
+        rows.empty() ? 0.0 :
+                       sum_delta / static_cast<double>(rows.size());
     os << "Mean modeled delta: " << std::setprecision(3)
-       << sum_delta / static_cast<double>(rows.size()) << "%\n";
+       << mean_delta << "%\n";
     os.unsetf(std::ios::fixed);
 }
 

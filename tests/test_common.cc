@@ -8,7 +8,9 @@
 
 #include <cmath>
 #include <set>
+#include <sstream>
 
+#include "common/bench_report.hh"
 #include "common/bitops.hh"
 #include "common/combinatorics.hh"
 #include "common/log.hh"
@@ -195,6 +197,82 @@ TEST(Stats, StatGroup)
     EXPECT_EQ(g.value("missing"), 0u);
     g.reset();
     EXPECT_EQ(g.value("a"), 0u);
+}
+
+TEST(Stats, HistogramTopEdgeClamps)
+{
+    // 0.7 is not exactly representable: (x - lo) / (hi - lo) * size
+    // can round to exactly size for x just under hi.  The clamp must
+    // land such samples in the last bucket, not one past it.
+    Histogram h(0.0, 0.7, 7);
+    h.record(std::nextafter(0.7, 0.0));
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Stats, SampleStatWelfordStability)
+{
+    // Classic catastrophic-cancellation case: tiny spread on a huge
+    // offset.  The naive sum-of-squares form loses every significant
+    // digit; Welford keeps them.
+    SampleStat s;
+    const double offset = 1e9;
+    for (double x : {offset - 1.0, offset, offset + 1.0})
+        s.record(x);
+    EXPECT_NEAR(s.stddev(), 1.0, 1e-6);
+    EXPECT_DOUBLE_EQ(s.mean(), offset);
+    EXPECT_DOUBLE_EQ(s.sum(), 3.0 * offset);
+
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, StatGroupHandles)
+{
+    StatGroup g;
+    const StatId a = g.registerCounter("a");
+    const StatId b = g.registerCounter("b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(g.registerCounter("a"), a); // idempotent
+
+    g.at(a).increment(3);
+    g.at(b).increment();
+    EXPECT_EQ(g.value("a"), 3u);
+    EXPECT_EQ(g.value("b"), 1u);
+
+    // The string view and the handle view hit the same counter.
+    g.counter("a").increment();
+    EXPECT_EQ(g.at(a).value(), 4u);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "a = 4\nb = 1\n");
+
+    g.reset();
+    EXPECT_EQ(g.at(a).value(), 0u);
+    EXPECT_EQ(g.at(b).value(), 0u);
+}
+
+TEST(BenchReport, EmitsSchemaJson)
+{
+    BenchReport report;
+    report.add("walks", 1.5e6, "walks/s", 1000);
+    report.add("sweep", 0.25, "s", 1);
+    report.add("walks", 2e6, "walks/s", 2000); // overwrite
+
+    std::ostringstream os;
+    report.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"walks\": {\"value\": 2000000.0, "
+                        "\"unit\": \"walks/s\", \"iterations\": "
+                        "2000}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"sweep\""), std::string::npos);
+    EXPECT_EQ(report.entries().size(), 2u);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json[json.size() - 2], '}');
 }
 
 TEST(Log, FatalThrows)

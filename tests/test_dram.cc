@@ -155,6 +155,48 @@ TEST(SparseStore, LazyMaterialization)
     EXPECT_EQ(store.frameCount(), 1u);
 }
 
+TEST(SparseStore, WordStraddlingFramesRoundTrips)
+{
+    // The U64 fast path only covers within-frame words; a straddling
+    // word must still round-trip through the span-wise path.
+    SparseStore store(0xcc);
+    const Addr straddle = pageSize - 3;
+    store.writeU64(straddle, 0x0102030405060708ULL);
+    EXPECT_EQ(store.readU64(straddle), 0x0102030405060708ULL);
+    EXPECT_EQ(store.frameCount(), 2u);
+
+    // An untouched straddling word reads as the fill pattern.
+    EXPECT_EQ(store.readU64(7 * pageSize - 4), 0xccccccccccccccccULL);
+    EXPECT_EQ(store.frameCount(), 2u);
+}
+
+TEST(SparseStore, FrameCacheSurvivesInterleavingAndClear)
+{
+    SparseStore store(0x55);
+    // Prime the last-frame cache, then bounce between frames; every
+    // access must see its own frame's data, not the cached one.
+    store.writeByte(0, 1);
+    store.writeByte(pageSize, 2);
+    EXPECT_EQ(store.readByte(0), 1);
+    EXPECT_EQ(store.readByte(pageSize), 2);
+    EXPECT_EQ(store.readByte(1), 0x55); // rest of frame keeps fill
+
+    // Force many materializations so the frame map rehashes; the
+    // cached pointer must stay valid (frames are stable heap blocks).
+    store.writeByte(0, 7);
+    for (Pfn pfn = 2; pfn < 200; ++pfn)
+        store.writeByte(pfnToAddr(pfn), static_cast<std::uint8_t>(pfn));
+    EXPECT_EQ(store.readByte(0), 7);
+
+    // clear() drops the cache along with the frames: stale pointers
+    // must not resurrect old contents.
+    store.clear();
+    EXPECT_EQ(store.frameCount(), 0u);
+    EXPECT_EQ(store.readByte(0), 0x55);
+    store.writeByte(0, 9);
+    EXPECT_EQ(store.readByte(0), 9);
+}
+
 TEST(FaultModel, VulnerabilityRateMatchesPf)
 {
     FaultModel faults(11, ErrorStats{});

@@ -264,6 +264,120 @@ TEST(Tlb, FlushAll)
     EXPECT_EQ(tlb.lookup(1, 1 << pageShift), nullptr);
 }
 
+TEST(Tlb, GeometryFromCapacity)
+{
+    Tlb tlb(64);
+    EXPECT_EQ(tlb.ways(), 8u);
+    EXPECT_EQ(tlb.sets(), 8u);
+    EXPECT_EQ(tlb.capacity(), 64u);
+
+    // Capacities at or under one way collapse to one LRU set.
+    Tlb small(4);
+    EXPECT_EQ(small.sets(), 1u);
+    EXPECT_EQ(small.ways(), 4u);
+}
+
+TEST(Tlb, AliasedVpnAcrossRootsCoexist)
+{
+    // The same vpn under different roots must not alias: both
+    // translations live side by side and resolve to their own frame.
+    Tlb tlb(64);
+    const VAddr vpn = 0x10;
+    tlb.insert(TlbEntry{1, vpn, 0x5000, true, true});
+    tlb.insert(TlbEntry{2, vpn, 0x9000, true, true});
+    EXPECT_EQ(tlb.size(), 2u);
+
+    const TlbEntry *first = tlb.lookup(1, vpn << pageShift);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->physBase, 0x5000u);
+    const TlbEntry *second = tlb.lookup(2, vpn << pageShift);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->physBase, 0x9000u);
+    EXPECT_EQ(tlb.lookup(3, vpn << pageShift), nullptr);
+}
+
+TEST(Tlb, EvictionOrderWithinSet)
+{
+    // 2-way, 8-set: for one root, vpns congruent mod sets() collide
+    // in one set.  Filling the set and touching the older entry must
+    // evict the untouched one.
+    Tlb tlb(16, 2);
+    ASSERT_EQ(tlb.ways(), 2u);
+    const std::uint64_t sets = tlb.sets();
+    const VAddr v0 = 5;
+    const VAddr v1 = v0 + sets;
+    const VAddr v2 = v0 + 2 * sets;
+
+    tlb.insert(TlbEntry{1, v0, 0x1000, true, true});
+    tlb.insert(TlbEntry{1, v1, 0x2000, true, true});
+    EXPECT_NE(tlb.lookup(1, v0 << pageShift), nullptr); // v0 is MRU
+    tlb.insert(TlbEntry{1, v2, 0x3000, true, true});    // evicts v1
+    EXPECT_EQ(tlb.stats().value("evictions"), 1u);
+    EXPECT_EQ(tlb.lookup(1, v1 << pageShift), nullptr);
+    EXPECT_NE(tlb.lookup(1, v0 << pageShift), nullptr);
+    EXPECT_NE(tlb.lookup(1, v2 << pageShift), nullptr);
+    EXPECT_EQ(tlb.size(), 2u);
+}
+
+TEST(Tlb, ReinsertRefreshesInPlace)
+{
+    Tlb tlb(16, 2);
+    tlb.insert(TlbEntry{1, 7, 0x1000, true, true});
+    tlb.insert(TlbEntry{1, 7, 0x2000, false, true});
+    EXPECT_EQ(tlb.size(), 1u);
+    EXPECT_EQ(tlb.stats().value("evictions"), 0u);
+    const TlbEntry *hit = tlb.lookup(1, 7 << pageShift);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->physBase, 0x2000u);
+    EXPECT_FALSE(hit->writable);
+}
+
+TEST(Tlb, FlushPageDropsAllRoots)
+{
+    // munmap shoots one vpn down across every address space, even
+    // though each root caches it in a different set.
+    Tlb tlb(64);
+    const VAddr vpn = 0x44;
+    tlb.insert(TlbEntry{1, vpn, 0x1000, true, true});
+    tlb.insert(TlbEntry{2, vpn, 0x2000, true, true});
+    tlb.insert(TlbEntry{3, vpn, 0x3000, true, true});
+    tlb.insert(TlbEntry{1, vpn + 1, 0x4000, true, true});
+    ASSERT_EQ(tlb.size(), 4u);
+
+    tlb.flushPage(vpn << pageShift);
+    EXPECT_EQ(tlb.size(), 1u);
+    EXPECT_EQ(tlb.lookup(1, vpn << pageShift), nullptr);
+    EXPECT_EQ(tlb.lookup(2, vpn << pageShift), nullptr);
+    EXPECT_EQ(tlb.lookup(3, vpn << pageShift), nullptr);
+    EXPECT_NE(tlb.lookup(1, (vpn + 1) << pageShift), nullptr);
+}
+
+TEST(Tlb, StatsParityWithLruModel)
+{
+    // A single-set TLB is exactly the old fully associative LRU
+    // model; replay a scripted access pattern and check the counters
+    // match the hand-computed LRU outcome.
+    Tlb tlb(2);
+    ASSERT_EQ(tlb.sets(), 1u);
+
+    tlb.lookup(1, 1 << pageShift);                  // miss
+    tlb.insert(TlbEntry{1, 1, 0x1000, true, true}); // fill
+    tlb.lookup(1, 1 << pageShift);                  // hit
+    tlb.insert(TlbEntry{1, 2, 0x2000, true, true}); // fill (full now)
+    tlb.lookup(1, 2 << pageShift);                  // hit; 1 is LRU
+    tlb.insert(TlbEntry{1, 3, 0x3000, true, true}); // evicts 1
+    tlb.lookup(1, 1 << pageShift);                  // miss
+    tlb.lookup(1, 3 << pageShift);                  // hit
+    tlb.flushAll();
+    tlb.lookup(1, 3 << pageShift);                  // miss
+
+    EXPECT_EQ(tlb.stats().value("hits"), 3u);
+    EXPECT_EQ(tlb.stats().value("misses"), 3u);
+    EXPECT_EQ(tlb.stats().value("evictions"), 1u);
+    EXPECT_EQ(tlb.stats().value("flushes"), 1u);
+    EXPECT_EQ(tlb.size(), 0u);
+}
+
 TEST(Mmu, CachesTranslationsAndSeesFlush)
 {
     dram::DramConfig config;
