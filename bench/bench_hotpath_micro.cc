@@ -20,6 +20,7 @@
 
 #include "common/bench_report.hh"
 #include "kernel/kernel.hh"
+#include "model/montecarlo.hh"
 #include "sim/campaign.hh"
 
 namespace {
@@ -148,6 +149,25 @@ benchDramRead(dram::DramModule &module, std::uint64_t words,
            static_cast<double>(MiB);
 }
 
+/** Monte-Carlo trials/s of one sampler on the boosted headline spec. */
+double
+benchMcTrials(model::Sampler sampler, std::uint64_t trials)
+{
+    model::McSpec spec;
+    spec.params.errors.pf = 0.05;
+    spec.params.errors.p01True = 0.3;
+    spec.params.errors.p10True = 0.7;
+    spec.sampler = sampler;
+    spec.zeros = 1;
+    spec.trials = trials;
+    const auto start = Clock::now();
+    const model::McEstimate estimate = model::runMc(spec);
+    const double wall = secondsSince(start);
+    if (estimate.trials != trials)
+        std::cerr << "bench: trial count mismatch\n";
+    return static_cast<double>(trials) / wall;
+}
+
 /** Wall-clock of a small end-to-end Campaign sweep. */
 double
 benchCampaign(bool smoke)
@@ -216,6 +236,23 @@ main(int argc, char **argv)
     const double rd = benchDramRead(module, dram_words, dram_passes);
     report.add("dram_read", rd, "MiB/s", dram_words * dram_passes);
     std::cout << "dram_read:      " << rd << " MiB/s\n";
+
+    const std::uint64_t mc_scalar_trials = smoke ? 20'000 : 2'000'000;
+    const std::uint64_t mc_batched_trials = smoke ? 64'000 : 8'000'000;
+    const double mc_scalar =
+        benchMcTrials(model::Sampler::FixedZeros, mc_scalar_trials);
+    report.add("mc_trials_per_s_scalar", mc_scalar, "trials/s",
+               mc_scalar_trials);
+    std::cout << "mc_trials_per_s_scalar: " << mc_scalar
+              << " trials/s\n";
+
+    const double mc_batched = benchMcTrials(
+        model::Sampler::FixedZerosBatched, mc_batched_trials);
+    report.add("mc_trials_per_s", mc_batched, "trials/s",
+               mc_batched_trials);
+    std::cout << "mc_trials_per_s: " << mc_batched
+              << " trials/s (batched/scalar "
+              << mc_batched / mc_scalar << "x)\n";
 
     const double sweep = benchCampaign(smoke);
     report.add("campaign_sweep", sweep, "s", smoke ? 1 : 4);

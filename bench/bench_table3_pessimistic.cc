@@ -4,10 +4,12 @@
  * (Pf = 5e-4, P(0->1) = 0.5%) over the same sweep as Table 2, with a
  * thread-pool Monte-Carlo cross-check of the scaling direction: the
  * pessimistic parameters must raise the estimated exploitability of
- * every sweep cell.
+ * every sweep cell.  `--batched` opts the cross-check into the
+ * bit-sliced batched kernel.
  */
 
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "model/montecarlo.hh"
@@ -15,10 +17,22 @@
 #include "runtime/thread_pool.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ctamem;
     using namespace ctamem::model;
+
+    bool batched = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--batched") {
+            batched = true;
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--batched]\n";
+            return 2;
+        }
+    }
+    const Sampler sampler =
+        batched ? Sampler::FixedZerosBatched : Sampler::FixedZeros;
 
     printTable(std::cout,
                "Table 3: pessimistic scaling (Pf=5e-4, P01=0.5%)",
@@ -35,16 +49,12 @@ main()
     bool scaling_holds = true;
     std::cout << "\nMC scaling cross-check (boosted params, "
               << pool.size() << " workers):\n";
-    for (const TableRow &row : makeTable3()) {
-        McSpec base;
-        base.params.memBytes = row.memBytes;
-        base.params.ptpBytes = row.ptpBytes;
-        base.params.errors.pf = 0.02;
-        base.params.errors.p01True = 0.3;
-        base.params.errors.p10True = 0.7;
-        base.zeros = row.restricted ? 2 : 1;
-        base.trials = 400'000;
-
+    const std::vector<TableRow> rows = makeTable3();
+    const std::vector<McSpec> base_specs =
+        mcSweepSpecs(rows, 0.02, sampler, 400'000);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const TableRow &row = rows[i];
+        const McSpec &base = base_specs[i];
         McSpec pessimistic = base;
         pessimistic.params.errors.pf = 0.1; // the 5x Pf scaling
 

@@ -15,6 +15,8 @@
 #ifndef CTAMEM_COMMON_RNG_HH
 #define CTAMEM_COMMON_RNG_HH
 
+#include <bit>
+#include <cmath>
 #include <cstdint>
 
 namespace ctamem {
@@ -146,7 +148,97 @@ class Rng
         return uniform() < p;
     }
 
+    /**
+     * Independent Bernoulli(p) draws packed into one word: each bit
+     * of the result inside @p lanes is set with probability p (bits
+     * outside @p lanes are 0 and consume no randomness).
+     *
+     * Threshold composition over the binary expansion of p: every
+     * lane conceptually compares a uniform binary fraction against p,
+     * and one raw word supplies the next fraction bit of all lanes at
+     * once, most significant first.  A lane is decided at the first
+     * fraction bit that differs from the matching bit of p (random 0
+     * under a p-bit 1 means fraction < p), so the expected cost is
+     * ~log2(popcount(lanes)) + 2 words per mask — about 1/8 word per
+     * Bernoulli draw for a full mask instead of the full word
+     * chance() burns, and ~2 words when a caller narrows @p lanes to
+     * a few survivors of a previous mask.  The loop also stops at the
+     * threshold's lowest set bit: once every remaining threshold bit
+     * is 0, an undecided lane (prefix equal to p's) can only end at
+     * fraction >= p, i.e. 0 — so e.g. p = 1/2 costs exactly one word.
+     * The number of words consumed depends only on p, @p lanes, and
+     * the stream itself, so the draw sequence stays a pure function
+     * of the seed (the batched samplers' determinism contract).
+     *
+     * Exact for p quantized to a 64-bit fraction: P(bit set) is
+     * round-to-nearest of p * 2^64, an error of at most 2^-65 — far
+     * below the sampling noise of any feasible trial count.
+     */
+    std::uint64_t
+    bernoulliMask(double p, std::uint64_t lanes = ~0ULL)
+    {
+        if (p <= 0.0 || lanes == 0)
+            return 0;
+        if (p >= 1.0)
+            return lanes;
+        const std::uint64_t threshold = fractionBits(p);
+        if (threshold == 0)
+            return 0;
+        const int lowest = std::countr_zero(threshold);
+        std::uint64_t result = 0;
+        std::uint64_t undecided = lanes;
+        for (int k = 63; k >= lowest && undecided; --k) {
+            const std::uint64_t u = next();
+            if ((threshold >> k) & 1) {
+                result |= undecided & ~u;
+                undecided &= u;
+            } else {
+                undecided &= ~u;
+            }
+        }
+        return result;
+    }
+
+    /**
+     * Uniform integer in [0, bound) via multiply-shift (Lemire),
+     * rejecting only inside the narrow boundary window — branch-free
+     * on the overwhelmingly common path.  Consumes a different word
+     * count than below() for the same stream, so it is reserved for
+     * the *batched* samplers; below() keeps the exact draw sequence
+     * the scalar samplers' golden outputs depend on.
+     * @pre bound > 0.
+     */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = (-bound) % bound;
+            while (low < threshold) {
+                m = static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
   private:
+    /** p in (0, 1) as a 64-bit binary fraction. */
+    static std::uint64_t
+    fractionBits(double p)
+    {
+        // Multiplying by 2^64 (a power of two) rescales p exactly —
+        // same significand, shifted exponent — and stays inline,
+        // unlike a libm ldexp call.
+        const double scaled = p * 18446744073709551616.0;
+        // p within 2^-64 of 1 scales to 2^64 itself: saturate.
+        if (scaled >= 18446744073709551616.0)
+            return ~0ULL;
+        return static_cast<std::uint64_t>(scaled);
+    }
+
     static constexpr std::uint64_t
     rotl(std::uint64_t x, int k)
     {

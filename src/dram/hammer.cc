@@ -1,5 +1,7 @@
 #include "dram/hammer.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace ctamem::dram {
@@ -43,6 +45,16 @@ RowHammerEngine::vulnerableBits(std::uint64_t bank,
             }
         }
     }
+    // Ascending trip threshold, so disturbance passes can stop at
+    // the first cell their intensity cannot trip; (column, bit)
+    // tie-break keeps templating runs bit-for-bit reproducible.
+    std::sort(found.begin(), found.end(),
+              [](const VulnerableBit &a, const VulnerableBit &b) {
+                  if (a.threshold != b.threshold)
+                      return a.threshold < b.threshold;
+                  return a.column != b.column ? a.column < b.column
+                                              : a.bit < b.bit;
+              });
     return vulnCache_.emplace(key, std::move(found)).first->second;
 }
 
@@ -60,9 +72,12 @@ RowHammerEngine::disturbDeviceRow(std::uint64_t bank,
     const CellType type = module_.cellMap().rowType(device_row);
     const FaultModel &faults = module_.faults();
 
-    for (const VulnerableBit &cell : vulnerableBits(bank, device_row)) {
+    const std::vector<VulnerableBit> &cells =
+        vulnerableBits(bank, device_row);
+    result.events.reserve(result.events.size() + cells.size());
+    for (const VulnerableBit &cell : cells) {
         if (cell.threshold > intensity)
-            continue;
+            break; // sorted ascending: nothing further can trip
         const Addr addr = base + cell.column;
         const FlipDirection dir =
             faults.flipDirection(addr, cell.bit, type);

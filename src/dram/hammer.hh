@@ -88,6 +88,9 @@ class RowHammerEngine
                              DisturbanceObserver *observer = nullptr)
         : module_(module), observer_(observer)
     {
+        // Sized for a templating sweep over a few hundred rows; the
+        // map only rehashes on campaigns far beyond that.
+        vulnCache_.reserve(256);
         passesId_ = stats_.registerCounter("passes");
         suppressedPassesId_ = stats_.registerCounter("suppressedPasses");
         flips10Id_ = stats_.registerCounter("flips10");
@@ -114,8 +117,10 @@ class RowHammerEngine
                                    std::uint64_t victim_row);
 
     /**
-     * Vulnerable cells of a device row (lazily scanned, cached).
-     * Exposed so attacks can reason about templating cost.
+     * Vulnerable cells of a device row (lazily scanned, cached),
+     * sorted by ascending trip threshold so disturbance passes can
+     * early-exit once the intensity is out of reach.  Exposed so
+     * attacks can reason about templating cost.
      */
     const std::vector<VulnerableBit> &
     vulnerableBits(std::uint64_t bank, std::uint64_t device_row);

@@ -31,6 +31,33 @@ pExploitable(const SystemParams &params)
 }
 
 double
+pExploitableExactZeros(const SystemParams &params, unsigned zeros)
+{
+    const unsigned n = params.indicatorBits();
+    if (zeros > n)
+        fatal("pExploitableExactZeros: zeros > indicator bits");
+    const double p_up = params.errors.upFlipProb(params.zoneCells);
+    const double p_down = params.errors.downFlipProb(params.zoneCells);
+    // binomialTerm folds in the C(n, i) content choices the
+    // FixedZeros samplers average over symmetrically; divide it back
+    // out to get the per-content probability, all in log space.
+    return binomialTerm(n, zeros, p_up, p_down) / choose(n, zeros);
+}
+
+double
+pExploitableUniform(const SystemParams &params)
+{
+    const unsigned n = params.indicatorBits();
+    const double p_up = params.errors.upFlipProb(params.zoneCells);
+    const double p_down = params.errors.downFlipProb(params.zoneCells);
+    // Average of pUp^z (1-pDown)^(n-z) over the 2^n - 1 indicator
+    // values below all-ones; the z = 0 term is the excluded zone row.
+    const double contents =
+        static_cast<double>((1ULL << n) - 1);
+    return binomialTail(n, 1, p_up, p_down) / contents;
+}
+
+double
 expectedExploitablePtes(const SystemParams &params)
 {
     return pExploitable(params) *

@@ -69,6 +69,24 @@ struct AttackCosts
 /** Probability one PTE location becomes exploitable. */
 double pExploitable(const SystemParams &params);
 
+/**
+ * Probability a PTE whose indicator carries *exactly* @p zeros zero
+ * bits is exploitable: every zero must flip up and every one must
+ * hold.  pUp^zeros * (1 - pDown)^(n - zeros), evaluated in log space
+ * — the single-content term the FixedZeros samplers estimate.
+ * @pre zeros <= indicatorBits().
+ */
+double pExploitableExactZeros(const SystemParams &params,
+                              unsigned zeros);
+
+/**
+ * Probability a *uniform* pointer below the low water mark (indicator
+ * uniform over [0, 2^n - 1)) is exploitable:
+ * [(pUp + 1 - pDown)^n - (1 - pDown)^n] / (2^n - 1) — what the
+ * Uniform samplers estimate.
+ */
+double pExploitableUniform(const SystemParams &params);
+
 /** Expected number of exploitable PTE locations in ZONE_PTP. */
 double expectedExploitablePtes(const SystemParams &params);
 

@@ -67,6 +67,27 @@ paperTable3()
     };
 }
 
+std::vector<McSpec>
+mcSweepSpecs(const std::vector<TableRow> &rows, double pf,
+             Sampler sampler, std::uint64_t trials)
+{
+    std::vector<McSpec> specs;
+    specs.reserve(rows.size());
+    for (const TableRow &row : rows) {
+        McSpec spec;
+        spec.params.memBytes = row.memBytes;
+        spec.params.ptpBytes = row.ptpBytes;
+        spec.params.errors.pf = pf;
+        spec.params.errors.p01True = 0.3;
+        spec.params.errors.p10True = 0.7;
+        spec.sampler = sampler;
+        spec.zeros = row.restricted ? 2 : 1;
+        spec.trials = trials;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
 void
 printTable(std::ostream &os, const std::string &title,
            const std::vector<TableRow> &rows,

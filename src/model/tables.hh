@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "model/montecarlo.hh"
 #include "model/security_model.hh"
 
 namespace ctamem::model {
@@ -52,6 +53,17 @@ std::vector<PaperReference> paperTable3();
 void printTable(std::ostream &os, const std::string &title,
                 const std::vector<TableRow> &rows,
                 const std::vector<PaperReference> &reference);
+
+/**
+ * The benches' Monte-Carlo cross-check grid: one McSpec per sweep
+ * row at boosted probabilities (@p pf with the fixed 0.3/0.7 flip
+ * split — the production probabilities need ~1e9 trials to see one
+ * event), restricted rows sampling two zeros.  @p sampler selects
+ * the scalar reference path or the bit-sliced batched kernel.
+ */
+std::vector<McSpec> mcSweepSpecs(const std::vector<TableRow> &rows,
+                                 double pf, Sampler sampler,
+                                 std::uint64_t trials);
 
 } // namespace ctamem::model
 

@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/log.hh"
 
@@ -67,42 +68,62 @@ ThreadPool::workerLoop()
 
 void
 ThreadPool::parallelFor(std::uint64_t begin, std::uint64_t end,
-                        const std::function<void(std::uint64_t)> &body)
+                        const std::function<void(std::uint64_t)> &body,
+                        std::uint64_t grain)
 {
     if (begin >= end)
         return;
     const std::uint64_t total = end - begin;
-    // Over-split a little so uneven iteration costs still balance.
-    const std::uint64_t blocks =
-        std::min<std::uint64_t>(total, std::uint64_t{size()} * 4);
-    const std::uint64_t per = total / blocks;
-    const std::uint64_t extra = total % blocks;
-
-    std::vector<std::future<void>> pending;
-    pending.reserve(blocks);
-    std::uint64_t cursor = begin;
-    for (std::uint64_t block = 0; block < blocks; ++block) {
-        const std::uint64_t len = per + (block < extra ? 1 : 0);
-        const std::uint64_t lo = cursor;
-        const std::uint64_t hi = cursor + len;
-        cursor = hi;
-        pending.push_back(submit([&body, lo, hi]() {
-            for (std::uint64_t i = lo; i < hi; ++i)
-                body(i);
-        }));
+    if (grain == 0) {
+        // Over-split a little so uneven iteration costs balance.
+        grain = std::max<std::uint64_t>(
+            1, total / (std::uint64_t{size()} * 8));
     }
+    const std::uint64_t slices = (total + grain - 1) / grain;
+    const auto jobs = static_cast<unsigned>(
+        std::min<std::uint64_t>(slices, size()));
 
-    std::exception_ptr first;
-    for (std::future<void> &f : pending) {
-        try {
-            f.get();
-        } catch (...) {
-            if (!first)
-                first = std::current_exception();
+    // All jobs share one cursor and claim the next grain-sized slice
+    // until the range drains; the latch replaces a futures vector,
+    // so the only heap traffic is the `jobs` queue entries.  Lives
+    // on this frame: done.wait() below outlasts every job.
+    struct Control
+    {
+        std::atomic<std::uint64_t> cursor;
+        std::latch done;
+        std::mutex failMutex;
+        std::exception_ptr first;
+
+        Control(std::uint64_t start, unsigned count)
+            : cursor(start), done(count)
+        {}
+    } control{begin, jobs};
+
+    auto drain = [&body, &control, end, grain]() {
+        for (;;) {
+            const std::uint64_t lo = control.cursor.fetch_add(
+                grain, std::memory_order_relaxed);
+            if (lo >= end)
+                break;
+            const std::uint64_t hi = std::min(end, lo + grain);
+            try {
+                for (std::uint64_t i = lo; i < hi; ++i)
+                    body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(control.failMutex);
+                if (!control.first)
+                    control.first = std::current_exception();
+                break; // this job stops; the others keep draining
+            }
         }
-    }
-    if (first)
-        std::rethrow_exception(first);
+        control.done.count_down();
+    };
+
+    for (unsigned job = 0; job < jobs; ++job)
+        enqueue(drain);
+    control.done.wait();
+    if (control.first)
+        std::rethrow_exception(control.first);
 }
 
 } // namespace ctamem::runtime

@@ -24,6 +24,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <latch>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -68,12 +69,22 @@ class ThreadPool
 
     /**
      * Run body(i) for every i in [begin, end), blocking until all
-     * iterations finish.  Iterations are grouped into contiguous
-     * blocks; the first exception thrown by any iteration is
-     * rethrown here once every block has completed.
+     * iterations finish.
+     *
+     * One job per worker pulls grain-sized slices off a shared
+     * atomic cursor until the range drains, and a single latch
+     * signals completion — no per-slice heap traffic, so fine grains
+     * are cheap.  @p grain is the slice length a worker claims at a
+     * time (0 picks ~8 slices per worker); pass 1 when each
+     * iteration is already a coarse unit of work, e.g. a Monte-Carlo
+     * chunk.  The first exception thrown by any iteration is
+     * rethrown here once every job has finished; the throwing job
+     * abandons the rest of its current slice, other jobs keep
+     * draining the range.
      */
     void parallelFor(std::uint64_t begin, std::uint64_t end,
-                     const std::function<void(std::uint64_t)> &body);
+                     const std::function<void(std::uint64_t)> &body,
+                     std::uint64_t grain = 0);
 
   private:
     void enqueue(std::function<void()> job);

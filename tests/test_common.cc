@@ -108,6 +108,72 @@ TEST(Rng, BelowIsInRange)
     EXPECT_EQ(seen.size(), 17u); // all residues hit
 }
 
+TEST(Rng, BernoulliMaskEmpiricalFrequency)
+{
+    // The mask's bits must be Bernoulli(p): over many masks the set
+    // fraction converges to p.  6-sigma tolerance on ~1.3M draws.
+    Rng rng(21);
+    for (const double p : {0.03125, 0.3, 0.5, 0.9}) {
+        std::uint64_t set = 0;
+        const std::uint64_t masks = 20'000;
+        for (std::uint64_t i = 0; i < masks; ++i)
+            set += popcount(rng.bernoulliMask(p));
+        const double draws = static_cast<double>(masks * 64);
+        const double freq = static_cast<double>(set) / draws;
+        const double sigma = std::sqrt(p * (1.0 - p) / draws);
+        EXPECT_NEAR(freq, p, 6 * sigma) << "p=" << p;
+    }
+}
+
+TEST(Rng, BernoulliMaskEdgesConsumeNothing)
+{
+    Rng a(4), b(4);
+    EXPECT_EQ(a.bernoulliMask(0.0), 0u);
+    EXPECT_EQ(a.bernoulliMask(-1.0), 0u);
+    EXPECT_EQ(a.bernoulliMask(1.0), ~0ULL);
+    EXPECT_EQ(a.bernoulliMask(2.0), ~0ULL);
+    // Degenerate probabilities draw no words: streams stay aligned.
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BernoulliMaskIsDeterministic)
+{
+    Rng a(77), b(77);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.bernoulliMask(0.3), b.bernoulliMask(0.3));
+}
+
+TEST(Rng, NextBoundedIsInRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.nextBounded(17);
+        EXPECT_LT(v, 17u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 17u); // all residues hit
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+    // A bound near 2^63 exercises the wide-product path.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(rng.nextBounded(1ULL << 62), 1ULL << 62);
+}
+
+TEST(Rng, NextBoundedIsRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr std::uint64_t kBound = 8;
+    constexpr int kDraws = 80'000;
+    std::uint64_t buckets[kBound] = {};
+    for (int i = 0; i < kDraws; ++i)
+        ++buckets[rng.nextBounded(kBound)];
+    for (std::uint64_t b = 0; b < kBound; ++b)
+        EXPECT_NEAR(static_cast<double>(buckets[b]),
+                    kDraws / static_cast<double>(kBound),
+                    6 * std::sqrt(kDraws / static_cast<double>(kBound)))
+            << "bucket " << b;
+}
+
 TEST(Combinatorics, Choose)
 {
     EXPECT_NEAR(choose(8, 0), 1.0, 1e-9);

@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
+#include "common/combinatorics.hh"
 #include "dram/cell_types.hh"
 #include "model/capacity.hh"
 #include "model/montecarlo.hh"
@@ -179,6 +181,149 @@ TEST(MonteCarlo, TrueCellsBeatAntiCells)
     const McEstimate mc_anti =
         mcExploitableFixedZeros(anti_zone, 1, 200'000);
     EXPECT_LT(mc_true.mean * 10, mc_anti.mean + 1e-12);
+}
+
+SystemParams
+boostedParams()
+{
+    SystemParams params = paperBaseline();
+    params.errors.pf = 0.05;
+    params.errors.p01True = 0.3;
+    params.errors.p10True = 0.7;
+    return params;
+}
+
+TEST(MonteCarloBatched, AgreesWithScalarWithin4Sigma)
+{
+    // Scalar and batched draw different streams from the same seed,
+    // so they agree statistically, not bit-wise: the two independent
+    // estimates of the same probability differ by at most 4 combined
+    // sigma.
+    McSpec scalar;
+    scalar.params = boostedParams();
+    scalar.zeros = 1;
+    scalar.trials = 400'000;
+    for (const auto [ref, batched] :
+         {std::pair{Sampler::FixedZeros, Sampler::FixedZerosBatched},
+          std::pair{Sampler::Uniform, Sampler::UniformBatched}}) {
+        scalar.sampler = ref;
+        McSpec fast = scalar;
+        fast.sampler = batched;
+        const McEstimate a = runMc(scalar);
+        const McEstimate b = runMc(fast);
+        const double sigma =
+            std::sqrt(a.stderr * a.stderr + b.stderr * b.stderr);
+        EXPECT_NEAR(a.mean, b.mean, 4 * sigma + 1e-12)
+            << "sampler pair " << static_cast<int>(ref);
+    }
+}
+
+TEST(MonteCarloBatched, FixedZerosMatchesClosedForm)
+{
+    McSpec spec;
+    spec.params = boostedParams();
+    spec.sampler = Sampler::FixedZerosBatched;
+    spec.trials = 400'000;
+    for (unsigned zeros : {1u, 2u}) {
+        spec.zeros = zeros;
+        const double exact =
+            pExploitableExactZeros(spec.params, zeros);
+        const McEstimate mc = runMc(spec);
+        EXPECT_EQ(mc.trials, spec.trials);
+        EXPECT_NEAR(mc.mean, exact, 5 * mc.stderr + 1e-9)
+            << "zeros=" << zeros;
+    }
+}
+
+TEST(MonteCarloBatched, UniformMatchesClosedForm)
+{
+    McSpec spec;
+    spec.params = boostedParams();
+    spec.sampler = Sampler::UniformBatched;
+    spec.trials = 400'000;
+    const double exact = pExploitableUniform(spec.params);
+    const McEstimate mc = runMc(spec);
+    EXPECT_NEAR(mc.mean, exact, 5 * mc.stderr + 1e-9);
+}
+
+TEST(MonteCarloBatched, ImportanceSamplingUnbiasedAtBoostedParams)
+{
+    // Where the direct estimator also works, the likelihood-ratio
+    // estimator must land on the same closed form.
+    McSpec spec;
+    spec.params = boostedParams();
+    spec.sampler = Sampler::FixedZerosBatched;
+    spec.mode = Mode::ImportanceSampled;
+    spec.zeros = 1;
+    spec.trials = 400'000;
+    const double exact = pExploitableExactZeros(spec.params, 1);
+    const McEstimate mc = runMc(spec);
+    EXPECT_NEAR(mc.mean, exact, 5 * mc.stderr + 1e-9);
+    EXPECT_GT(mc.ess, 0.0);
+}
+
+TEST(MonteCarloBatched, UniformImportanceSamplingUnbiased)
+{
+    McSpec spec;
+    spec.params = boostedParams();
+    spec.sampler = Sampler::UniformBatched;
+    spec.mode = Mode::ImportanceSampled;
+    spec.trials = 400'000;
+    const double exact = pExploitableUniform(spec.params);
+    const McEstimate mc = runMc(spec);
+    EXPECT_NEAR(mc.mean, exact, 5 * mc.stderr + 1e-9);
+}
+
+TEST(MonteCarloBatched, ImportanceSamplingReachesRareTail)
+{
+    // Production parameters, restricted pointers: the per-trial hit
+    // probability is ~4e-14.  The direct estimator at 400k trials is
+    // blind to it; the importance-sampled one resolves it to a few
+    // percent in the same budget.
+    SystemParams params = paperBaseline();
+    params.minIndicatorZeros = 2;
+    const double exact = pExploitableExactZeros(params, 2);
+    ASSERT_GT(exact, 0.0);
+    ASSERT_LT(exact, 1e-9);
+
+    McSpec direct;
+    direct.params = params;
+    direct.sampler = Sampler::FixedZerosBatched;
+    direct.zeros = 2;
+    direct.trials = 400'000;
+    EXPECT_EQ(runMc(direct).mean, 0.0); // blind to the tail
+
+    McSpec tilted = direct;
+    tilted.mode = Mode::ImportanceSampled;
+    const McEstimate mc = runMc(tilted);
+    EXPECT_GT(mc.mean, 0.0);
+    EXPECT_NEAR(mc.mean, exact, 5 * mc.stderr);
+    EXPECT_LT(mc.stderr, exact); // genuinely resolved, not one fluke
+    EXPECT_GT(mc.ess, 100.0);
+}
+
+TEST(SecurityModel, ClosedFormHelpersMatchDefinitions)
+{
+    const SystemParams params = boostedParams();
+    const unsigned n = params.indicatorBits();
+    const double p_up = params.errors.upFlipProbTrue();
+    const double p_down = params.errors.downFlipProbTrue();
+    for (unsigned zeros : {1u, 2u, n}) {
+        const double expect =
+            std::pow(p_up, zeros) *
+            std::pow(1.0 - p_down, n - zeros);
+        EXPECT_NEAR(pExploitableExactZeros(params, zeros), expect,
+                    expect * 1e-12)
+            << "zeros=" << zeros;
+    }
+    // The uniform closed form averages the exactly-z terms over the
+    // nonzero pointer values below the mark.
+    double total = 0.0;
+    for (unsigned z = 1; z <= n; ++z)
+        total += choose(n, z) * pExploitableExactZeros(params, z);
+    const double expect =
+        total / (static_cast<double>(1ULL << n) - 1.0);
+    EXPECT_NEAR(pExploitableUniform(params), expect, expect * 1e-12);
 }
 
 TEST(Capacity, WorstCase078Percent)

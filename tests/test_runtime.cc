@@ -72,12 +72,29 @@ TEST(ThreadPool, ParallelForPropagatesException)
                                           throw std::logic_error("13");
                                   }),
                  std::logic_error);
-    // The throwing block abandons its own remaining iterations, but
-    // every other block still runs: with 16 blocks of 4 iterations,
-    // at most 3 indices can be skipped.
+    // The throwing job abandons at most the rest of its current
+    // grain; the other jobs keep draining the shared cursor.  With 64
+    // items on 4 workers the default grain is 2, so at most 1 index
+    // is skipped.
     EXPECT_GE(visited.load(), 61u);
     // And the pool survives for the next round.
     EXPECT_EQ(pool.submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ParallelForHonorsGrainHint)
+{
+    ThreadPool pool(4);
+    constexpr std::uint64_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    for (const std::uint64_t grain : {1u, 7u, 5000u}) {
+        for (auto &h : hits)
+            h.store(0);
+        pool.parallelFor(0, kCount,
+                         [&](std::uint64_t i) { ++hits[i]; }, grain);
+        for (std::uint64_t i = 0; i < kCount; ++i)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "grain " << grain << " index " << i;
+    }
 }
 
 TEST(ThreadPool, ReusableAcrossRounds)
@@ -132,6 +149,64 @@ TEST(RunMc, UniformSamplerAlsoDeterministic)
     const McEstimate parallel = model::runMc(spec, pool);
     EXPECT_EQ(serial.mean, parallel.mean);
     EXPECT_EQ(serial.stderr, parallel.stderr);
+}
+
+TEST(RunMc, BatchedBitIdenticalAcrossThreadCounts)
+{
+    // The batched kernel inherits the chunk-seeding contract: the
+    // fold is in chunk-index order and every chunk's draws are
+    // chunk-local, so the estimate is bit-identical at any pool size.
+    for (const model::Sampler sampler :
+         {model::Sampler::FixedZerosBatched,
+          model::Sampler::UniformBatched}) {
+        McSpec spec = boostedSpec();
+        spec.sampler = sampler;
+        const McEstimate serial = model::runMc(spec);
+        EXPECT_EQ(serial.trials, spec.trials);
+        for (const unsigned threads : {1u, 2u, 8u}) {
+            ThreadPool pool(threads);
+            const McEstimate parallel = model::runMc(spec, pool);
+            EXPECT_EQ(serial.mean, parallel.mean)
+                << threads << " threads";
+            EXPECT_EQ(serial.stderr, parallel.stderr)
+                << threads << " threads";
+            EXPECT_EQ(serial.ess, parallel.ess)
+                << threads << " threads";
+            EXPECT_EQ(serial.trials, parallel.trials);
+        }
+    }
+}
+
+TEST(RunMc, ImportanceSampledAlsoDeterministic)
+{
+    McSpec spec = boostedSpec();
+    spec.sampler = model::Sampler::FixedZerosBatched;
+    spec.mode = model::Mode::ImportanceSampled;
+    const McEstimate serial = model::runMc(spec);
+    for (const unsigned threads : {2u, 8u}) {
+        ThreadPool pool(threads);
+        const McEstimate parallel = model::runMc(spec, pool);
+        EXPECT_EQ(serial.mean, parallel.mean);
+        EXPECT_EQ(serial.stderr, parallel.stderr);
+        EXPECT_EQ(serial.ess, parallel.ess);
+    }
+}
+
+TEST(RunMc, BatchedRaggedChunksCountAllTrials)
+{
+    // Neither the trial count nor the chunk size is a multiple of the
+    // 64-lane block width: the last block of each chunk runs with a
+    // partial lane mask and every trial is still counted exactly once.
+    McSpec spec = boostedSpec();
+    spec.sampler = model::Sampler::FixedZerosBatched;
+    spec.trials = 10'001;
+    spec.chunkSize = 1'000;
+    const McEstimate serial = model::runMc(spec);
+    EXPECT_EQ(serial.trials, 10'001u);
+    ThreadPool pool(4);
+    const McEstimate parallel = model::runMc(spec, pool);
+    EXPECT_EQ(parallel.trials, 10'001u);
+    EXPECT_EQ(serial.mean, parallel.mean);
 }
 
 TEST(RunMc, LegacyWrappersAreThinOverRunMc)
