@@ -19,6 +19,7 @@
 #include "kernel/kernel.hh"
 #include "model/capacity.hh"
 #include "model/security_model.hh"
+#include "sim/scenarios.hh"
 
 namespace {
 
@@ -33,7 +34,7 @@ restrictionSweep()
               << std::setw(16) << "E[exploitable]" << std::setw(16)
               << "attack days" << std::setw(20)
               << "reserved memory %" << '\n';
-    for (unsigned zeros = 0; zeros <= 4; ++zeros) {
+    for (const unsigned zeros : sim::scenarios::restrictionDepths()) {
         model::SystemParams params;
         params.minIndicatorZeros = zeros;
         const double expected =
@@ -66,7 +67,8 @@ periodSweep()
               << std::setw(16) << "stripe size" << std::setw(22)
               << "worst-case loss %" << std::setw(18)
               << "anti-top loss %" << '\n';
-    for (const std::uint64_t period : {64, 128, 256, 512, 1024}) {
+    for (const std::uint64_t period :
+         sim::scenarios::interleavePeriods()) {
         const double worst = model::worstCaseLossFraction(
             period, 128 * KiB, 8 * GiB, 32 * MiB);
         const model::CapacityLoss actual =
@@ -93,41 +95,23 @@ screeningAblation()
               << "screening" << std::setw(18) << "screened frames"
               << std::setw(18) << "attack outcome" << '\n';
 
-    struct Case
-    {
-        double pf;
-        bool multi;
-        bool screen;
-    };
-    const Case cases[] = {
-        {5e-2, false, false},
-        {5e-2, true, false},
-        {5e-3, true, true},
-    };
-    for (const Case &ablation : cases) {
-        kernel::KernelConfig config;
-        config.dram.capacity = 512 * MiB;
-        config.dram.rowBytes = 128 * KiB;
-        config.dram.banks = 1;
-        config.dram.cellMap = dram::CellTypeMap::alternating(512);
-        config.dram.errors.pf = ablation.pf;
-        config.dram.seed = 77;
-        config.policy = kernel::AllocPolicy::Cta;
-        config.cta.ptpBytes = 4 * MiB;
-        config.cta.multiLevelZones = ablation.multi;
-        config.cta.screenPageSizeBit = ablation.screen;
-
+    for (const sim::scenarios::ScreeningCase &ablation :
+         sim::scenarios::screeningCases()) {
+        const kernel::KernelConfig config =
+            sim::scenarios::screeningKernelConfig(ablation);
         kernel::Kernel kernel(config);
         dram::RowHammerEngine engine(kernel.dram());
         attack::PageSizeAttackConfig attack_config;
         attack_config.largeMappings = 128;
         // Allocator-aware sweep order (see PageSizeAttackConfig).
-        attack_config.sweepFromTop = !ablation.multi;
+        attack_config.sweepFromTop = !ablation.multiLevelZones;
         const attack::AttackResult result =
             attack::runPageSizeAttack(kernel, engine, attack_config);
         std::cout << std::setw(10) << ablation.pf << std::setw(14)
-                  << (ablation.multi ? "yes" : "no") << std::setw(12)
-                  << (ablation.screen ? "yes" : "no") << std::setw(18)
+                  << (ablation.multiLevelZones ? "yes" : "no")
+                  << std::setw(12)
+                  << (ablation.screenPageSizeBit ? "yes" : "no")
+                  << std::setw(18)
                   << kernel.ptpZone()->screenedFrames()
                   << std::setw(18)
                   << attack::outcomeName(result.outcome) << '\n';

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "model/security_model.hh"
+#include "sim/scenarios.hh"
 
 int
 main()
@@ -25,8 +26,7 @@ main()
               << "attack time" << '\n';
 
     for (const auto &[label, cells] :
-         {std::pair{"true-cells (CTA)", dram::CellType::True},
-          std::pair{"anti-cells (LWM only)", dram::CellType::Anti}}) {
+         sim::scenarios::lwmZoneCases()) {
         SystemParams params;
         params.zoneCells = cells;
         const double expected = expectedExploitablePtes(params);

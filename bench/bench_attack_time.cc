@@ -14,7 +14,7 @@
 
 #include "model/security_model.hh"
 #include "runtime/thread_pool.hh"
-#include "sim/campaign.hh"
+#include "sim/scenarios.hh"
 
 int
 main()
@@ -23,17 +23,9 @@ main()
     using namespace ctamem::sim;
     using defense::DefenseKind;
 
-    std::vector<MachineConfig> configs(2);
-    configs[0].defense = DefenseKind::None;
-    configs[1].defense = DefenseKind::Cta;
-    const std::vector<AttackKind> attacks{
-        AttackKind::ProjectZero, AttackKind::Drammer,
-        AttackKind::Algorithm1};
-
-    // The campaign grid is attack-major, matching the table rows:
-    // each attack against the unprotected then the CTA machine.
-    Campaign campaign;
-    campaign.addGrid(configs, attacks);
+    // The shared attack-time preset: attack-major, matching the table
+    // rows — each attack against the unprotected then the CTA machine.
+    Campaign campaign = scenarios::attackTime();
     runtime::ThreadPool pool;
     const CampaignReport report = campaign.run(pool);
 
@@ -76,22 +68,20 @@ main()
               << std::setw(10) << "PTP" << std::setw(14)
               << "per page (s)" << std::setw(14) << "worst (days)"
               << std::setw(14) << "avg (days)" << '\n';
-    for (const std::uint64_t mem : {8 * GiB, 16 * GiB, 32 * GiB}) {
-        for (const std::uint64_t ptp : {32 * MiB, 64 * MiB}) {
-            model::SystemParams params;
-            params.memBytes = mem;
-            params.ptpBytes = ptp;
-            const model::AttackTime time =
-                model::expectedAttackTime(params);
-            std::cout << std::setw(10)
-                      << (std::to_string(mem / GiB) + "GB")
-                      << std::setw(10)
-                      << (std::to_string(ptp / MiB) + "MB")
-                      << std::setprecision(4) << std::setw(14)
-                      << time.perPageSeconds << std::setw(14)
-                      << time.worstDays << std::setw(14)
-                      << time.avgDays << '\n';
-        }
+    for (const auto &[mem, ptp] : scenarios::pricingGrid()) {
+        model::SystemParams params;
+        params.memBytes = mem;
+        params.ptpBytes = ptp;
+        const model::AttackTime time =
+            model::expectedAttackTime(params);
+        std::cout << std::setw(10)
+                  << (std::to_string(mem / GiB) + "GB")
+                  << std::setw(10)
+                  << (std::to_string(ptp / MiB) + "MB")
+                  << std::setprecision(4) << std::setw(14)
+                  << time.perPageSeconds << std::setw(14)
+                  << time.worstDays << std::setw(14)
+                  << time.avgDays << '\n';
     }
     std::cout << "\npaper: 19.08 s/page and 57.6 days for 8GB/32MB; "
                  "vs 20 seconds for the fastest published attack on "

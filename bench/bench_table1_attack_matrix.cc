@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "runtime/thread_pool.hh"
-#include "sim/campaign.hh"
+#include "sim/scenarios.hh"
 
 int
 main()
@@ -26,29 +26,15 @@ main()
     using namespace ctamem::sim;
     using defense::DefenseKind;
 
-    const std::vector<DefenseKind> defenses{
-        DefenseKind::None,       DefenseKind::RefreshBoost,
-        DefenseKind::Para,       DefenseKind::Anvil,
-        DefenseKind::Catt,       DefenseKind::Zebram,
-        DefenseKind::Cta,        DefenseKind::CtaRestricted,
-    };
-    const std::vector<AttackKind> attacks{
-        AttackKind::ProjectZero,       AttackKind::Drammer,
-        AttackKind::Algorithm1,        AttackKind::RemapBypass,
-        AttackKind::DoubleOwnedBypass,
-    };
-
-    // One config per defense; everything else stays at the machine
-    // defaults (256 MiB, Pf=1e-3, the Drammer arena of 1024 pages).
-    std::vector<MachineConfig> configs;
-    for (const DefenseKind defense : defenses) {
-        MachineConfig config;
-        config.defense = defense;
-        configs.push_back(config);
-    }
-
-    Campaign campaign;
-    campaign.addGrid(configs, attacks);
+    // The shared paper-default preset: one default-parameter machine
+    // per defense (256 MiB, Pf=1e-3, the Drammer arena of 1024
+    // pages), every attack, attack-major.  scenarios/
+    // paper-default.json is the manifest twin of this grid.
+    const std::vector<DefenseKind> defenses =
+        scenarios::table1Defenses();
+    const std::vector<AttackKind> attacks =
+        scenarios::table1Attacks();
+    Campaign campaign = scenarios::paperDefault();
     runtime::ThreadPool pool;
     const CampaignReport report = campaign.run(pool);
 

@@ -7,18 +7,27 @@
  *   ./build/examples/attack_lab --defense none --attack drammer \
  *       --mem 512 --pf 1e-3 --seed 42
  *   ./build/examples/attack_lab --matrix --jobs 4
+ *   ./build/examples/attack_lab --scenario scenarios/hardened.json \
+ *       --report report.json
  *   ./build/examples/attack_lab --list
+ *
+ * Defense and attack names come straight from the registries, so a
+ * newly registered defense (SoftTRR, say) shows up in --list, --matrix
+ * and scenario manifests with no changes here.
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "attack/registry.hh"
+#include "defense/registry.hh"
 #include "runtime/thread_pool.hh"
 #include "sim/campaign.hh"
+#include "sim/scenario.hh"
 
 namespace {
 
@@ -26,34 +35,15 @@ using namespace ctamem;
 using defense::DefenseKind;
 using sim::AttackKind;
 
-const std::map<std::string, DefenseKind> defenseByName{
-    {"none", DefenseKind::None},
-    {"cta", DefenseKind::Cta},
-    {"cta-restricted", DefenseKind::CtaRestricted},
-    {"catt", DefenseKind::Catt},
-    {"zebram", DefenseKind::Zebram},
-    {"refresh", DefenseKind::RefreshBoost},
-    {"para", DefenseKind::Para},
-    {"anvil", DefenseKind::Anvil},
-};
-
-const std::map<std::string, AttackKind> attackByName{
-    {"projectzero", AttackKind::ProjectZero},
-    {"drammer", AttackKind::Drammer},
-    {"algorithm1", AttackKind::Algorithm1},
-    {"remap", AttackKind::RemapBypass},
-    {"doubleowned", AttackKind::DoubleOwnedBypass},
-};
-
 void
 listOptions()
 {
     std::cout << "defenses:";
-    for (const auto &[name, kind] : defenseByName)
-        std::cout << ' ' << name;
+    for (const auto &spec : defense::Registry::instance().all())
+        std::cout << ' ' << spec->name;
     std::cout << "\nattacks:";
-    for (const auto &[name, kind] : attackByName)
-        std::cout << ' ' << name;
+    for (const auto &spec : attack::Registry::instance().all())
+        std::cout << ' ' << spec->name;
     std::cout << '\n';
 }
 
@@ -62,28 +52,77 @@ usage()
 {
     std::cerr << "usage: attack_lab [--defense NAME] [--attack NAME]"
                  " [--mem MiB] [--ptp MiB] [--pf P] [--seed N]"
-                 " [--matrix] [--jobs N] [--list]\n";
+                 " [--matrix] [--scenario FILE.json]"
+                 " [--report OUT.json] [--max-cells N] [--jobs N]"
+                 " [--list]\n";
     std::exit(2);
 }
 
+/** Render a campaign's cells as one row per cell. */
+void
+printCellTable(const sim::CampaignReport &report)
+{
+    std::cout << std::left << std::setw(40) << "cell" << std::setw(18)
+              << "outcome" << std::setw(10) << "passes"
+              << std::setw(10) << "flips" << '\n';
+    for (const sim::CellResult &cell : report.cells) {
+        std::string text = attack::outcomeName(cell.result.outcome);
+        if (cell.anvilTriggered)
+            text += "*";
+        std::cout << std::setw(40) << cell.cell.label << std::setw(18)
+                  << text << std::setw(10) << cell.result.hammerPasses
+                  << std::setw(10) << cell.result.flipsInduced
+                  << '\n';
+    }
+}
+
+void
+printSweepFooter(const sim::CampaignReport &report,
+                 const runtime::ThreadPool &pool)
+{
+    std::cout << "\n" << report.cells.size() << " cells, wall "
+              << std::setprecision(3) << report.wallSeconds
+              << " s on " << pool.size()
+              << " workers (serial-equivalent "
+              << report.cellSecondsTotal() << " s)\n";
+}
+
+/** --report: the machine-readable side of any sweep. */
+bool
+writeReport(const sim::CampaignReport &report,
+            const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "attack_lab: cannot write " << path << '\n';
+        return false;
+    }
+    report.toJson().write(out);
+    out << '\n';
+    std::cout << "report written to " << path << '\n';
+    return true;
+}
+
 /**
- * --matrix: run every attack against every defense as one parallel
- * Campaign (same machine config otherwise) and render the table.
+ * --matrix: run every registered attack against every registered
+ * defense as one parallel Campaign (same machine config otherwise)
+ * and render the table.
  */
 int
-runMatrix(const sim::MachineConfig &base, unsigned jobs)
+runMatrix(const sim::MachineConfig &base, unsigned jobs,
+          const std::string &report_path)
 {
     std::vector<sim::MachineConfig> configs;
     std::vector<DefenseKind> defenses;
-    for (const auto &[name, kind] : defenseByName) {
+    for (const auto &spec : defense::Registry::instance().all()) {
         sim::MachineConfig config = base;
-        config.defense = kind;
+        config.defense = spec->kind;
         configs.push_back(config);
-        defenses.push_back(kind);
+        defenses.push_back(spec->kind);
     }
     std::vector<AttackKind> attacks;
-    for (const auto &[name, kind] : attackByName)
-        attacks.push_back(kind);
+    for (const auto &spec : attack::Registry::instance().all())
+        attacks.push_back(spec->kind);
 
     sim::Campaign campaign;
     campaign.addGrid(configs, attacks);
@@ -107,11 +146,36 @@ runMatrix(const sim::MachineConfig &base, unsigned jobs)
         }
         std::cout << '\n';
     }
-    std::cout << "\n" << report.cells.size() << " cells, wall "
-              << std::setprecision(3) << report.wallSeconds
-              << " s on " << pool.size()
-              << " workers (serial-equivalent "
-              << report.cellSecondsTotal() << " s)\n";
+    printSweepFooter(report, pool);
+    if (!report_path.empty() && !writeReport(report, report_path))
+        return 2;
+    return 0;
+}
+
+/** --scenario: load a manifest, run its campaign, render the table. */
+int
+runScenario(const std::string &path, unsigned jobs,
+            std::size_t max_cells, const std::string &report_path)
+{
+    sim::Campaign campaign;
+    try {
+        campaign = sim::Campaign::fromManifest(path);
+    } catch (const json::JsonError &err) {
+        std::cerr << "attack_lab: " << path << ": " << err.what()
+                  << '\n';
+        return 2;
+    }
+    if (max_cells)
+        campaign.truncate(max_cells);
+    std::cout << "scenario: " << path << " (" << campaign.size()
+              << " cells)\n\n";
+
+    runtime::ThreadPool pool(jobs);
+    const sim::CampaignReport report = campaign.run(pool);
+    printCellTable(report);
+    printSweepFooter(report, pool);
+    if (!report_path.empty() && !writeReport(report, report_path))
+        return 2;
     return 0;
 }
 
@@ -122,9 +186,12 @@ main(int argc, char **argv)
 {
     std::string defense_name = "cta";
     std::string attack_name = "projectzero";
+    std::string scenario_path;
+    std::string report_path;
     sim::MachineConfig config;
     bool matrix = false;
     unsigned jobs = 0; // 0 = one worker per hardware thread
+    std::size_t max_cells = 0; // 0 = run every cell
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -150,20 +217,33 @@ main(int argc, char **argv)
             config.seed = std::stoull(next());
         } else if (arg == "--matrix") {
             matrix = true;
+        } else if (arg == "--scenario") {
+            scenario_path = next();
+        } else if (arg == "--report") {
+            report_path = next();
+        } else if (arg == "--max-cells") {
+            max_cells = std::stoull(next());
         } else if (arg == "--jobs") {
             jobs = static_cast<unsigned>(std::stoul(next()));
         } else {
             usage();
         }
     }
+    if (!scenario_path.empty())
+        return runScenario(scenario_path, jobs, max_cells,
+                           report_path);
     if (matrix)
-        return runMatrix(config, jobs);
-    if (!defenseByName.contains(defense_name) ||
-        !attackByName.contains(attack_name)) {
+        return runMatrix(config, jobs, report_path);
+
+    const defense::DefenseSpec *defense_spec =
+        defense::Registry::instance().find(defense_name);
+    const attack::AttackSpec *attack_spec =
+        attack::Registry::instance().find(attack_name);
+    if (!defense_spec || !attack_spec) {
         listOptions();
         return 2;
     }
-    config.defense = defenseByName.at(defense_name);
+    config.defense = defense_spec->kind;
 
     std::cout << "machine: " << config.memBytes / MiB << " MiB, Pf="
               << config.pf << ", seed=" << config.seed
@@ -178,9 +258,9 @@ main(int argc, char **argv)
                   << " MiB anti skipped\n";
     }
 
-    const AttackKind attack = attackByName.at(attack_name);
+    const AttackKind attack = attack_spec->kind;
     std::cout << "running: " << sim::attackName(attack) << "...\n\n";
-    const attack::AttackResult result = machine.attack(attack);
+    const attack::AttackResult result = machine.runAttack(attack);
 
     std::cout << "outcome:        "
               << attack::outcomeName(result.outcome) << '\n'

@@ -29,7 +29,7 @@ main()
     config.defense = defense::DefenseKind::None;
     Machine vulnerable(config);
     const attack::AttackResult before =
-        vulnerable.attack(AttackKind::ProjectZero);
+        vulnerable.runAttack(AttackKind::ProjectZero);
     std::cout << "PTE-spray attack outcome: "
               << attack::outcomeName(before.outcome) << " ("
               << before.detail << ")\n"
@@ -49,7 +49,7 @@ main()
               << " MiB of anti-cells skipped)\n";
 
     const attack::AttackResult after =
-        protected_machine.attack(AttackKind::ProjectZero);
+        protected_machine.runAttack(AttackKind::ProjectZero);
     std::cout << "PTE-spray attack outcome: "
               << attack::outcomeName(after.outcome) << " ("
               << after.detail << ")\n";

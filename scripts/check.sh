@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Full local CI: the tier-1 build + test suite, the scenario-manifest
+# smoke label, and the sanitizer-instrumented suites behind their
+# ctest labels (tsan for the thread-pool/campaign engine, ubsan for
+# the RNG/bit-twiddling-heavy suites).
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # tier-1 + scenario smoke only
+#
+# Build trees: build/ (tier-1), build-tsan/, build-ubsan/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1: configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+
+step "tier-1: ctest"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+step "scenario smoke (every checked-in manifest, 1 cell each)"
+(cd build && ctest --output-on-failure -L scenario-smoke -j "$jobs")
+
+if [[ "$fast" == 1 ]]; then
+    step "done (--fast: sanitizer suites skipped)"
+    exit 0
+fi
+
+step "tsan: thread-pool / campaign suites"
+cmake -B build-tsan -S . -DCTAMEM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs"
+(cd build-tsan && ctest --output-on-failure -L tsan -j "$jobs")
+
+step "ubsan: RNG / bit-manipulation suites"
+cmake -B build-ubsan -S . -DCTAMEM_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$jobs"
+(cd build-ubsan && ctest --output-on-failure -L ubsan -j "$jobs")
+
+step "all checks passed"

@@ -1,57 +1,10 @@
 #include "common/bench_report.hh"
 
-#include <cmath>
 #include <fstream>
-#include <iomanip>
-#include <sstream>
+
+#include "common/json.hh"
 
 namespace ctamem {
-
-namespace {
-
-/** JSON-escape the characters that can appear in bench names. */
-std::string
-escape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          default:
-            out += c;
-        }
-    }
-    return out;
-}
-
-/** Format a double as a valid JSON number (no inf/nan, no 1e+x). */
-std::string
-jsonNumber(double v)
-{
-    if (!std::isfinite(v))
-        return "0";
-    std::ostringstream os;
-    os << std::setprecision(12) << std::fixed << v;
-    std::string s = os.str();
-    // Trim trailing zeros but keep one digit after the point.
-    const auto dot = s.find('.');
-    auto last = s.find_last_not_of('0');
-    if (last == dot)
-        ++last;
-    s.erase(last + 1);
-    return s;
-}
-
-} // namespace
 
 void
 BenchReport::add(const std::string &name, double value,
@@ -60,21 +13,25 @@ BenchReport::add(const std::string &name, double value,
     entries_[name] = BenchEntry{value, unit, iterations};
 }
 
+json::Json
+BenchReport::toJson() const
+{
+    json::Json report = json::Json::object();
+    for (const auto &[name, entry] : entries_) {
+        json::Json row = json::Json::object();
+        row.set("value", entry.value)
+            .set("unit", entry.unit)
+            .set("iterations", entry.iterations);
+        report.set(name, std::move(row));
+    }
+    return report;
+}
+
 void
 BenchReport::writeJson(std::ostream &os) const
 {
-    os << "{\n";
-    bool first = true;
-    for (const auto &[name, entry] : entries_) {
-        if (!first)
-            os << ",\n";
-        first = false;
-        os << "  \"" << escape(name) << "\": {\"value\": "
-           << jsonNumber(entry.value) << ", \"unit\": \""
-           << escape(entry.unit) << "\", \"iterations\": "
-           << entry.iterations << "}";
-    }
-    os << "\n}\n";
+    toJson().write(os);
+    os << '\n';
 }
 
 bool

@@ -16,6 +16,8 @@
 #include <ostream>
 #include <string>
 
+#include "common/json.hh"
+
 namespace ctamem {
 
 /** One benchmark result. */
@@ -41,6 +43,9 @@ class BenchReport
     {
         return entries_;
     }
+
+    /** The whole report as one JSON object. */
+    json::Json toJson() const;
 
     /** Emit the whole report as a JSON object. */
     void writeJson(std::ostream &os) const;

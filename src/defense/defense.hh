@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "dram/hammer.hh"
 
@@ -32,10 +34,18 @@ enum class DefenseKind : std::uint8_t
     RefreshBoost, //!< higher DRAM refresh rate (observer)
     Para,         //!< probabilistic adjacent-row activation (observer)
     Anvil,        //!< performance-counter detection (observer)
+    SoftTrr,      //!< software target-row refresh (observer)
 };
 
-/** Human-readable defense name. */
+/** Human-readable defense name (the Table-1 column heading). */
 const char *defenseName(DefenseKind kind);
+
+/**
+ * Inverse of defenseName: accepts the canonical manifest token
+ * ("cta-restricted") or the display name ("CTA+restriction").
+ * Returns nullopt for unknown names.
+ */
+std::optional<DefenseKind> parseDefenseKind(std::string_view name);
 
 /** Base class adding bookkeeping to observers. */
 class ObserverDefense : public dram::DisturbanceObserver

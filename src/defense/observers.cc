@@ -4,22 +4,6 @@
 
 namespace ctamem::defense {
 
-const char *
-defenseName(DefenseKind kind)
-{
-    switch (kind) {
-      case DefenseKind::None: return "none";
-      case DefenseKind::Cta: return "CTA";
-      case DefenseKind::CtaRestricted: return "CTA+restriction";
-      case DefenseKind::Catt: return "CATT";
-      case DefenseKind::Zebram: return "ZebRAM-lite";
-      case DefenseKind::RefreshBoost: return "refresh-boost";
-      case DefenseKind::Para: return "PARA";
-      case DefenseKind::Anvil: return "ANVIL";
-    }
-    return "?";
-}
-
 bool
 ParaObserver::onHammer(std::uint64_t, std::uint64_t,
                        std::uint64_t activations,

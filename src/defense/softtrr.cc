@@ -1,0 +1,70 @@
+#include "defense/softtrr.hh"
+
+#include <algorithm>
+
+#include "defense/registry.hh"
+
+namespace ctamem::defense {
+
+bool
+SoftTrrObserver::onHammer(std::uint64_t bank,
+                          std::uint64_t device_row,
+                          std::uint64_t activations,
+                          const std::vector<std::uint64_t> &)
+{
+    const std::uint64_t key = (bank << 40) | device_row;
+
+    Slot *slot = nullptr;
+    for (Slot &candidate : table_) {
+        if (candidate.key == key) {
+            slot = &candidate;
+            break;
+        }
+    }
+    if (!slot) {
+        if (table_.size() < maxTracked_) {
+            table_.push_back(Slot{key, 0});
+            slot = &table_.back();
+        } else {
+            // Recycle the coldest slot (first on ties, so eviction
+            // is deterministic).
+            slot = &*std::min_element(
+                table_.begin(), table_.end(),
+                [](const Slot &a, const Slot &b) {
+                    return a.count < b.count;
+                });
+            slot->key = key;
+            slot->count = 0;
+            ++evictions_;
+        }
+    }
+
+    slot->count += activations;
+    if (slot->count >= threshold_) {
+        // Target-row refresh: re-read the victims, restoring their
+        // charge; the pass induces no flips.
+        slot->count = 0;
+        ++mitigations_;
+        return true;
+    }
+    return false;
+}
+
+namespace detail {
+
+void
+registerSoftTrrDefense(Registry &registry)
+{
+    registry.add(DefenseSpec{
+        DefenseKind::SoftTrr, "softtrr", "SoftTRR",
+        /*configureKernel=*/nullptr, // Standard policy: the defense
+                                     // is software-only by design
+        [](const DefenseParams &params) {
+            return std::make_unique<SoftTrrObserver>(
+                params.softTrrThreshold, params.softTrrTracked);
+        }});
+}
+
+} // namespace detail
+
+} // namespace ctamem::defense

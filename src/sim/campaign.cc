@@ -32,11 +32,25 @@ Campaign &
 Campaign::add(const MachineConfig &config, AttackKind attack,
               std::string label)
 {
-    if (label.empty()) {
-        label = std::string(attackName(attack)) + " vs " +
-                defense::defenseName(config.defense);
+    return add(CampaignCell{config, attack, std::move(label)});
+}
+
+Campaign &
+Campaign::add(CampaignCell cell)
+{
+    if (cell.label.empty()) {
+        cell.label = std::string(attackName(cell.attack)) + " vs " +
+                     defense::defenseName(cell.config.defense);
     }
-    cells_.push_back(CampaignCell{config, attack, std::move(label)});
+    cells_.push_back(std::move(cell));
+    return *this;
+}
+
+Campaign &
+Campaign::truncate(std::size_t keep)
+{
+    if (cells_.size() > keep)
+        cells_.resize(keep);
     return *this;
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "sim/machine.hh"
 
 namespace ctamem::runtime {
@@ -32,6 +33,8 @@ struct CampaignCell
     MachineConfig config;
     AttackKind attack = AttackKind::ProjectZero;
     std::string label; //!< defaults to "<attack> vs <defense>"
+
+    bool operator==(const CampaignCell &) const = default;
 };
 
 /** Outcome of one cell. */
@@ -50,6 +53,12 @@ struct CampaignReport
     double wallSeconds = 0.0;
     /** Sum of per-cell times: the serial-equivalent wall-clock. */
     double cellSecondsTotal() const;
+
+    /**
+     * The whole result table as one JSON object (`attack_lab
+     * --report`, the machine-readable side of every sweep).
+     */
+    json::Json toJson() const;
 };
 
 class Campaign
@@ -66,8 +75,21 @@ class Campaign
     Campaign &addGrid(const std::vector<MachineConfig> &configs,
                       const std::vector<AttackKind> &attacks);
 
+    /** Append one pre-built cell verbatim (manifest loader path). */
+    Campaign &add(CampaignCell cell);
+
+    /** Drop every cell past the first @p keep (smoke runs). */
+    Campaign &truncate(std::size_t keep);
+
     std::size_t size() const { return cells_.size(); }
     const std::vector<CampaignCell> &cells() const { return cells_; }
+
+    /**
+     * Load a whole defense x attack grid from a checked-in `.json`
+     * manifest (see sim/scenario.hh for the schema).  Throws
+     * json::JsonError on unreadable files or schema violations.
+     */
+    static Campaign fromManifest(const std::string &path);
 
     /** Run every cell serially, in order. */
     CampaignReport run() const;

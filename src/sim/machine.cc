@@ -1,30 +1,41 @@
 #include "sim/machine.hh"
 
-#include "attack/algorithm1.hh"
-#include "attack/catt_bypass.hh"
-#include "attack/drammer.hh"
-#include "attack/projectzero.hh"
 #include "common/log.hh"
+#include "defense/registry.hh"
 
 namespace ctamem::sim {
 
 using defense::DefenseKind;
 
-const char *
-attackName(AttackKind kind)
+namespace {
+
+/** Copy the per-defense tunables out of a machine config. */
+defense::DefenseParams
+defenseParams(const MachineConfig &config)
 {
-    switch (kind) {
-      case AttackKind::ProjectZero: return "PTE spray (ProjectZero)";
-      case AttackKind::Drammer: return "Drammer templating";
-      case AttackKind::Algorithm1: return "Algorithm 1 (anti-CTA)";
-      case AttackKind::RemapBypass: return "row-remap bypass";
-      case AttackKind::DoubleOwnedBypass: return "double-owned bypass";
-    }
-    return "?";
+    defense::DefenseParams params;
+    params.seed = config.seed;
+    params.ptpBytes = config.ptpBytes;
+    params.refreshBoostFactor = config.refreshBoostFactor;
+    params.paraProbability = config.paraProbability;
+    params.anvilThreshold = config.anvilThreshold;
+    params.softTrrThreshold = config.softTrrThreshold;
+    params.softTrrTracked = config.softTrrTracked;
+    return params;
 }
+
+} // namespace
 
 Machine::Machine(const MachineConfig &config) : config_(config)
 {
+    const defense::DefenseSpec *spec =
+        defense::Registry::instance().find(config.defense);
+    if (!spec) {
+        fatal("machine: defense kind ",
+              static_cast<int>(config.defense),
+              " has no registry entry");
+    }
+
     kernel::KernelConfig kconfig;
     kconfig.dram.capacity = config.memBytes;
     kconfig.dram.rowBytes = config.rowBytes;
@@ -34,50 +45,14 @@ Machine::Machine(const MachineConfig &config) : config_(config)
     kconfig.dram.errors.pf = config.pf;
     kconfig.dram.seed = config.seed;
 
-    switch (config.defense) {
-      case DefenseKind::None:
-      case DefenseKind::RefreshBoost:
-      case DefenseKind::Para:
-      case DefenseKind::Anvil:
-        kconfig.policy = kernel::AllocPolicy::Standard;
-        break;
-      case DefenseKind::Cta:
-        kconfig.policy = kernel::AllocPolicy::Cta;
-        kconfig.cta.ptpBytes = config.ptpBytes;
-        break;
-      case DefenseKind::CtaRestricted:
-        kconfig.policy = kernel::AllocPolicy::Cta;
-        kconfig.cta.ptpBytes = config.ptpBytes;
-        kconfig.cta.minIndicatorZeros = 2;
-        break;
-      case DefenseKind::Catt:
-        kconfig.policy = kernel::AllocPolicy::Catt;
-        break;
-      case DefenseKind::Zebram:
-        kconfig.policy = kernel::AllocPolicy::Zebram;
-        break;
-    }
+    const defense::DefenseParams params = defenseParams(config);
+    if (spec->configureKernel)
+        spec->configureKernel(params, kconfig);
 
     kernel_ = std::make_unique<kernel::Kernel>(kconfig);
 
-    switch (config.defense) {
-      case DefenseKind::RefreshBoost:
-        observer_ = std::make_unique<defense::RefreshBoostObserver>(
-            config.refreshBoostFactor,
-            deriveSeed(config.seed, seeds::kRefreshBoostStream));
-        break;
-      case DefenseKind::Para:
-        observer_ = std::make_unique<defense::ParaObserver>(
-            config.paraProbability,
-            deriveSeed(config.seed, seeds::kParaStream));
-        break;
-      case DefenseKind::Anvil:
-        observer_ = std::make_unique<defense::AnvilObserver>(
-            config.anvilThreshold);
-        break;
-      default:
-        break;
-    }
+    if (spec->makeObserver)
+        observer_ = spec->makeObserver(params);
 
     engine_ = std::make_unique<dram::RowHammerEngine>(
         kernel_->dram(), observer_.get());
@@ -94,28 +69,13 @@ Machine::anvil()
 attack::AttackResult
 Machine::runAttack(AttackKind kind)
 {
-    switch (kind) {
-      case AttackKind::ProjectZero:
-        return attack::runProjectZero(*kernel_, *engine_);
-      case AttackKind::Drammer: {
-        attack::DrammerConfig config;
-        config.arenaPages = 1024;
-        return attack::runDrammer(*kernel_, *engine_, config);
-      }
-      case AttackKind::Algorithm1: {
-        if (!kernel_->ptpZone()) {
-            // Algorithm 1 is defined against CTA machines only; on
-            // others report the strictly stronger ProjectZero result.
-            return attack::runProjectZero(*kernel_, *engine_);
-        }
-        return attack::runAlgorithm1(*kernel_, *engine_);
-      }
-      case AttackKind::RemapBypass:
-        return attack::runRemapBypass(*kernel_, *engine_);
-      case AttackKind::DoubleOwnedBypass:
-        return attack::runDoubleOwnedBypass(*kernel_, *engine_);
+    const attack::AttackSpec *spec =
+        attack::Registry::instance().find(kind);
+    if (!spec) {
+        fatal("machine: attack kind ", static_cast<int>(kind),
+              " has no registry entry");
     }
-    ctamem_panic("unknown attack kind");
+    return spec->run(*kernel_, *engine_);
 }
 
 } // namespace ctamem::sim

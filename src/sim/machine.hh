@@ -2,8 +2,13 @@
  * @file
  * Machine assembly: one simulated computer = DRAM module + kernel
  * (allocation policy) + optional memory-controller mitigation +
- * hammer engine, plus convenience runners for every implemented
- * attack — the level the benches and examples program against.
+ * hammer engine, plus the single attack dispatch the benches,
+ * examples and the Campaign engine program against.
+ *
+ * Defense and attack construction both go through the name-keyed
+ * registries (defense::Registry, attack::Registry): the machine holds
+ * no per-kind switch, so new defenses/attacks plug in by registration
+ * and by name in scenario manifests.
  */
 
 #ifndef CTAMEM_SIM_MACHINE_HH
@@ -12,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "attack/registry.hh"
 #include "attack/result.hh"
 #include "common/rng.hh"
 #include "cta/config.hh"
@@ -21,18 +27,11 @@
 
 namespace ctamem::sim {
 
-/** The attacks the matrix benches run. */
-enum class AttackKind : std::uint8_t
-{
-    ProjectZero,     //!< probabilistic PTE spray [32]
-    Drammer,         //!< deterministic templating [37]
-    Algorithm1,      //!< the paper's CTA-tailored brute force
-    RemapBypass,     //!< row re-mapping vs address-space isolation
-    DoubleOwnedBypass, //!< device buffers inside the kernel zone
-};
-
-/** Human-readable attack name. */
-const char *attackName(AttackKind kind);
+/** The attack table lives in the attack layer; same spelling here. */
+using attack::AttackKind;
+using attack::attackName;
+using attack::attackToken;
+using attack::parseAttackKind;
 
 /** Everything needed to build one machine. */
 struct MachineConfig
@@ -49,6 +48,10 @@ struct MachineConfig
     unsigned refreshBoostFactor = 4;      //!< for RefreshBoost
     double paraProbability = 0.001;       //!< for PARA
     std::uint64_t anvilThreshold = 1'000'000; //!< for ANVIL
+    std::uint64_t softTrrThreshold = 500'000; //!< for SoftTRR
+    std::uint64_t softTrrTracked = 32;        //!< for SoftTRR
+
+    bool operator==(const MachineConfig &) const = default;
 };
 
 /** One simulated computer. */
@@ -74,12 +77,6 @@ class Machine
      * Campaign engine and every bench program against.
      */
     attack::AttackResult runAttack(AttackKind kind);
-
-    /** Old name of runAttack(); kept so existing callers compile. */
-    attack::AttackResult attack(AttackKind kind)
-    {
-        return runAttack(kind);
-    }
 
   private:
     MachineConfig config_;

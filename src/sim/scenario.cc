@@ -1,0 +1,300 @@
+#include "sim/scenario.hh"
+
+#include "attack/registry.hh"
+#include "defense/registry.hh"
+
+namespace ctamem::sim {
+
+using json::Json;
+using json::JsonError;
+
+namespace {
+
+/** "comment", "comment-1", "commentary"... all ignored. */
+bool
+isComment(const std::string &key)
+{
+    return key.rfind("comment", 0) == 0;
+}
+
+[[noreturn]] void
+unknownKey(const char *what, const std::string &key)
+{
+    throw JsonError(std::string("unknown ") + what + " key \"" + key +
+                    "\"");
+}
+
+defense::DefenseKind
+parseDefense(const Json &j)
+{
+    const std::string &name = j.asString();
+    const auto kind = defense::parseDefenseKind(name);
+    if (!kind) {
+        std::string known;
+        for (const auto &spec : defense::Registry::instance().all())
+            known += " " + spec->name;
+        throw JsonError("unknown defense \"" + name +
+                        "\" (known:" + known + ")");
+    }
+    return *kind;
+}
+
+AttackKind
+parseAttack(const Json &j)
+{
+    const std::string &name = j.asString();
+    const auto kind = parseAttackKind(name);
+    if (!kind) {
+        std::string known;
+        for (const auto &spec : attack::Registry::instance().all())
+            known += " " + spec->name;
+        throw JsonError("unknown attack \"" + name +
+                        "\" (known:" + known + ")");
+    }
+    return *kind;
+}
+
+unsigned
+asUnsigned(const Json &j)
+{
+    const std::uint64_t value = j.asU64();
+    if (value > 0xffffffffULL)
+        throw JsonError("value out of unsigned range");
+    return static_cast<unsigned>(value);
+}
+
+} // namespace
+
+Json
+toJson(const MachineConfig &config)
+{
+    Json j = Json::object();
+    j.set("memBytes", config.memBytes)
+        .set("rowBytes", config.rowBytes)
+        .set("banks", config.banks)
+        .set("cellPeriod", config.cellPeriod)
+        .set("pf", config.pf)
+        .set("seed", config.seed)
+        .set("defense",
+             std::string(defense::defenseToken(config.defense)))
+        .set("ptpBytes", config.ptpBytes)
+        .set("refreshBoostFactor", config.refreshBoostFactor)
+        .set("paraProbability", config.paraProbability)
+        .set("anvilThreshold", config.anvilThreshold)
+        .set("softTrrThreshold", config.softTrrThreshold)
+        .set("softTrrTracked", config.softTrrTracked);
+    return j;
+}
+
+MachineConfig
+machineConfigFromJson(const Json &j, const MachineConfig &base)
+{
+    MachineConfig config = base;
+    for (const Json::Member &member : j.members()) {
+        const std::string &key = member.key;
+        const Json &value = member.value;
+        if (isComment(key))
+            continue;
+        else if (key == "memBytes")
+            config.memBytes = value.asU64();
+        else if (key == "rowBytes")
+            config.rowBytes = value.asU64();
+        else if (key == "banks")
+            config.banks = value.asU64();
+        else if (key == "cellPeriod")
+            config.cellPeriod = value.asU64();
+        else if (key == "pf")
+            config.pf = value.asDouble();
+        else if (key == "seed")
+            config.seed = value.asU64();
+        else if (key == "defense")
+            config.defense = parseDefense(value);
+        else if (key == "ptpBytes")
+            config.ptpBytes = value.asU64();
+        else if (key == "refreshBoostFactor")
+            config.refreshBoostFactor = asUnsigned(value);
+        else if (key == "paraProbability")
+            config.paraProbability = value.asDouble();
+        else if (key == "anvilThreshold")
+            config.anvilThreshold = value.asU64();
+        else if (key == "softTrrThreshold")
+            config.softTrrThreshold = value.asU64();
+        else if (key == "softTrrTracked")
+            config.softTrrTracked = value.asU64();
+        else
+            unknownKey("MachineConfig", key);
+    }
+    return config;
+}
+
+Json
+toJson(const cta::CtaConfig &config)
+{
+    Json j = Json::object();
+    j.set("ptpBytes", config.ptpBytes)
+        .set("minIndicatorZeros", config.minIndicatorZeros)
+        .set("multiLevelZones", config.multiLevelZones)
+        .set("screenPageSizeBit", config.screenPageSizeBit);
+    return j;
+}
+
+cta::CtaConfig
+ctaConfigFromJson(const Json &j, const cta::CtaConfig &base)
+{
+    cta::CtaConfig config = base;
+    for (const Json::Member &member : j.members()) {
+        const std::string &key = member.key;
+        const Json &value = member.value;
+        if (isComment(key))
+            continue;
+        else if (key == "ptpBytes")
+            config.ptpBytes = value.asU64();
+        else if (key == "minIndicatorZeros")
+            config.minIndicatorZeros = asUnsigned(value);
+        else if (key == "multiLevelZones")
+            config.multiLevelZones = value.asBool();
+        else if (key == "screenPageSizeBit")
+            config.screenPageSizeBit = value.asBool();
+        else
+            unknownKey("CtaConfig", key);
+    }
+    return config;
+}
+
+Json
+toJson(const CampaignCell &cell)
+{
+    Json j = Json::object();
+    j.set("label", cell.label)
+        .set("attack", std::string(attackToken(cell.attack)))
+        .set("config", toJson(cell.config));
+    return j;
+}
+
+CampaignCell
+campaignCellFromJson(const Json &j, const MachineConfig &base)
+{
+    CampaignCell cell;
+    cell.config = base;
+    for (const Json::Member &member : j.members()) {
+        const std::string &key = member.key;
+        const Json &value = member.value;
+        if (isComment(key))
+            continue;
+        else if (key == "label")
+            cell.label = value.asString();
+        else if (key == "attack")
+            cell.attack = parseAttack(value);
+        else if (key == "config")
+            cell.config = machineConfigFromJson(value, base);
+        else
+            unknownKey("CampaignCell", key);
+    }
+    return cell;
+}
+
+Json
+toJson(const CellResult &result)
+{
+    Json j = Json::object();
+    j.set("cell", toJson(result.cell))
+        .set("outcome",
+             std::string(attack::outcomeName(result.result.outcome)))
+        .set("detail", result.result.detail)
+        .set("attackTime",
+             static_cast<std::uint64_t>(result.result.attackTime))
+        .set("hammerPasses", result.result.hammerPasses)
+        .set("flipsInduced", result.result.flipsInduced)
+        .set("ptesCorrupted", result.result.ptesCorrupted)
+        .set("selfReferences", result.result.selfReferences)
+        .set("anvilTriggered", result.anvilTriggered)
+        .set("wallSeconds", result.wallSeconds);
+    return j;
+}
+
+Json
+CampaignReport::toJson() const
+{
+    Json cellArray = Json::array();
+    for (const CellResult &cell : cells)
+        cellArray.push(sim::toJson(cell));
+    Json j = Json::object();
+    j.set("cells", std::move(cellArray))
+        .set("wallSeconds", wallSeconds)
+        .set("cellSecondsTotal", cellSecondsTotal());
+    return j;
+}
+
+Campaign
+campaignFromJson(const Json &manifest)
+{
+    MachineConfig base;
+    std::vector<MachineConfig> configs;
+    std::vector<AttackKind> attacks;
+    const Json *configsJson = nullptr;
+    const Json *cellsJson = nullptr;
+    bool haveDefenses = false;
+
+    // First pass: pull `base` so config/cell parsing can layer on it
+    // regardless of key order.
+    if (const Json *baseJson = manifest.find("base"))
+        base = machineConfigFromJson(*baseJson);
+
+    for (const Json::Member &member : manifest.members()) {
+        const std::string &key = member.key;
+        const Json &value = member.value;
+        if (isComment(key) || key == "base")
+            continue;
+        else if (key == "name" || key == "description")
+            (void)value.asString();
+        else if (key == "defenses") {
+            haveDefenses = true;
+            for (const Json &d : value.items()) {
+                MachineConfig config = base;
+                config.defense = parseDefense(d);
+                configs.push_back(config);
+            }
+        } else if (key == "configs") {
+            configsJson = &value;
+        } else if (key == "attacks") {
+            for (const Json &a : value.items())
+                attacks.push_back(parseAttack(a));
+        } else if (key == "cells") {
+            cellsJson = &value;
+        } else {
+            unknownKey("manifest", key);
+        }
+    }
+
+    if (haveDefenses && configsJson) {
+        throw JsonError(
+            "manifest: \"defenses\" and \"configs\" are exclusive "
+            "ways to build the grid rows");
+    }
+    if (configsJson) {
+        for (const Json &c : configsJson->items())
+            configs.push_back(machineConfigFromJson(c, base));
+    }
+    if (!configs.empty() && attacks.empty()) {
+        throw JsonError("manifest: a defense/config grid needs an "
+                        "\"attacks\" list");
+    }
+
+    Campaign campaign;
+    campaign.addGrid(configs, attacks);
+    if (cellsJson) {
+        for (const Json &c : cellsJson->items())
+            campaign.add(campaignCellFromJson(c, base));
+    }
+    if (campaign.size() == 0)
+        throw JsonError("manifest describes no cells");
+    return campaign;
+}
+
+Campaign
+Campaign::fromManifest(const std::string &path)
+{
+    return campaignFromJson(Json::parseFile(path));
+}
+
+} // namespace ctamem::sim

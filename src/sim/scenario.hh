@@ -1,0 +1,79 @@
+/**
+ * @file
+ * JSON serialization of the experiment types: the bridge between the
+ * in-memory Campaign API and checked-in scenario manifests.
+ *
+ * Guarantees:
+ *  - `fromJson(toJson(x)) == x` for MachineConfig, CtaConfig and
+ *    CampaignCell (property-tested over the Table-1 grid);
+ *  - `toJson` output is deterministic byte-for-byte (golden-file
+ *    tested), so manifests and reports diff cleanly across runs;
+ *  - unknown manifest keys are a hard error (typo protection), while
+ *    keys starting with "comment" are ignored everywhere, giving the
+ *    checked-in manifests a place for prose.
+ *
+ * Manifest schema (Campaign::fromManifest / campaignFromJson):
+ *
+ *   {
+ *     "name": "paper-default",          // optional
+ *     "comment": "... free text ...",   // ignored, anywhere
+ *     "base": { MachineConfig fields }, // optional shared defaults
+ *     "defenses": ["none", "cta"],      // grid mode: base x defense
+ *     "configs": [ {fields}, ... ],     // or explicit config list
+ *     "attacks": ["projectzero"],       // grid columns
+ *     "cells": [                        // and/or explicit cells
+ *       {"config": {fields}, "attack": "drammer", "label": "..."}
+ *     ]
+ *   }
+ *
+ * Grid cells are attack-major (for each attack, one cell per config)
+ * — the exact layout Campaign::addGrid produces, so a manifest and
+ * its programmatic equivalent yield cell-for-cell identical reports.
+ */
+
+#ifndef CTAMEM_SIM_SCENARIO_HH
+#define CTAMEM_SIM_SCENARIO_HH
+
+#include "common/json.hh"
+#include "cta/config.hh"
+#include "sim/campaign.hh"
+
+namespace ctamem::sim {
+
+/** @name MachineConfig <-> JSON */
+/** @{ */
+json::Json toJson(const MachineConfig &config);
+
+/**
+ * Parse a MachineConfig object.  Missing keys keep the values of
+ * @p base (defaults to a default-constructed config), unknown keys
+ * throw json::JsonError.
+ */
+MachineConfig machineConfigFromJson(const json::Json &j,
+                                    const MachineConfig &base = {});
+/** @} */
+
+/** @name cta::CtaConfig <-> JSON (kernel-level scenarios) */
+/** @{ */
+json::Json toJson(const cta::CtaConfig &config);
+cta::CtaConfig ctaConfigFromJson(const json::Json &j,
+                                 const cta::CtaConfig &base = {});
+/** @} */
+
+/** @name CampaignCell / results <-> JSON */
+/** @{ */
+json::Json toJson(const CampaignCell &cell);
+CampaignCell campaignCellFromJson(const json::Json &j,
+                                  const MachineConfig &base = {});
+json::Json toJson(const CellResult &result);
+/** @} */
+
+/**
+ * Build a campaign from a parsed manifest object (see the schema in
+ * the file comment).  Throws json::JsonError on schema violations.
+ */
+Campaign campaignFromJson(const json::Json &manifest);
+
+} // namespace ctamem::sim
+
+#endif // CTAMEM_SIM_SCENARIO_HH

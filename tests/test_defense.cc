@@ -8,6 +8,7 @@
 
 #include "attack/projectzero.hh"
 #include "defense/observers.hh"
+#include "defense/softtrr.hh"
 #include "sim/machine.hh"
 
 namespace ctamem::defense {
@@ -87,6 +88,47 @@ TEST(Anvil, BenignThrashingFalsePositives)
     EXPECT_FALSE(anvil.triggered()); // not an attack detection
 }
 
+TEST(SoftTrr, RefreshesRowsPastTheThreshold)
+{
+    SoftTrrObserver trr(1'000'000, 8);
+    // The first full-strength pass crosses the 1M threshold: the
+    // counter trips and the pass is mitigated.
+    EXPECT_TRUE(trr.onHammer(0, 10, 1'300'000, {9, 11}));
+    EXPECT_EQ(trr.mitigations(), 1u);
+    // A weak pass under the threshold sails through...
+    EXPECT_FALSE(trr.onHammer(0, 20, 400'000, {19, 21}));
+    // ...but accumulates: two more and row 20 trips too.
+    EXPECT_FALSE(trr.onHammer(0, 20, 400'000, {19, 21}));
+    EXPECT_TRUE(trr.onHammer(0, 20, 400'000, {19, 21}));
+    EXPECT_GT(trr.overheadFactor(), 0.0);
+}
+
+TEST(SoftTrr, BoundedTableEvictsColdestRow)
+{
+    SoftTrrObserver trr(1'000'000, 2);
+    trr.onHammer(0, 1, 500'000, {0, 2});
+    trr.onHammer(0, 2, 600'000, {1, 3});
+    EXPECT_EQ(trr.trackedRows(), 2u);
+    // A third row recycles the coldest slot (row 1).
+    trr.onHammer(0, 3, 100'000, {2, 4});
+    EXPECT_EQ(trr.trackedRows(), 2u);
+    EXPECT_EQ(trr.evictions(), 1u);
+}
+
+TEST(DefenseVsAttack, SoftTrrStopsProjectZero)
+{
+    // The registration-only defense holds on its own: every hammer
+    // pass exceeds the threshold, so no flips ever land.
+    sim::MachineConfig config;
+    config.defense = DefenseKind::SoftTrr;
+    sim::Machine machine(config);
+    const attack::AttackResult result =
+        machine.runAttack(sim::AttackKind::ProjectZero);
+    EXPECT_NE(result.outcome, attack::Outcome::Escalated);
+    EXPECT_EQ(result.flipsInduced, 0u);
+    EXPECT_GT(machine.observer()->mitigations(), 0u);
+}
+
 TEST(DefenseNames, AllDistinct)
 {
     EXPECT_STREQ(defenseName(DefenseKind::Cta), "CTA");
@@ -101,7 +143,7 @@ TEST(DefenseVsAttack, ParaStopsProjectZero)
     config.defense = DefenseKind::Para;
     sim::Machine machine(config);
     const attack::AttackResult result =
-        machine.attack(sim::AttackKind::ProjectZero);
+        machine.runAttack(sim::AttackKind::ProjectZero);
     EXPECT_NE(result.outcome, attack::Outcome::Escalated);
     EXPECT_EQ(result.flipsInduced, 0u);
     EXPECT_GT(machine.observer()->mitigations(), 0u);
@@ -114,7 +156,7 @@ TEST(DefenseVsAttack, AnvilDetectsProjectZero)
     config.anvilThreshold = 1'000'000;
     sim::Machine machine(config);
     const attack::AttackResult result =
-        machine.attack(sim::AttackKind::ProjectZero);
+        machine.runAttack(sim::AttackKind::ProjectZero);
     EXPECT_NE(result.outcome, attack::Outcome::Escalated);
     EXPECT_TRUE(machine.anvil()->triggered());
 }
@@ -126,7 +168,7 @@ TEST(DefenseVsAttack, RefreshBoostOnlySlowsTheAttack)
     config.refreshBoostFactor = 2;
     sim::Machine machine(config);
     const attack::AttackResult result =
-        machine.attack(sim::AttackKind::ProjectZero);
+        machine.runAttack(sim::AttackKind::ProjectZero);
     // Half the passes land; on this vulnerable module the attack
     // still eventually succeeds — the paper's "no guarantee" point.
     EXPECT_EQ(result.outcome, attack::Outcome::Escalated)

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the common JSON value module: construction, checked
+ * accessors, deterministic printing, parsing, and the dump/parse
+ * round trip the scenario layer is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/json.hh"
+
+namespace ctamem::json {
+namespace {
+
+TEST(Json, ScalarConstructionAndAccessors)
+{
+    EXPECT_TRUE(Json().isNull());
+    EXPECT_TRUE(Json(nullptr).isNull());
+    EXPECT_TRUE(Json(true).asBool());
+    EXPECT_DOUBLE_EQ(Json(1.5).asDouble(), 1.5);
+    EXPECT_EQ(Json(std::uint64_t{7}).asU64(), 7u);
+    EXPECT_EQ(Json(std::int64_t{-7}).asI64(), -7);
+    EXPECT_EQ(Json("hi").asString(), "hi");
+}
+
+TEST(Json, NumberKindsArePreserved)
+{
+    EXPECT_EQ(Json(1.5).numKind(), Json::NumKind::Double);
+    EXPECT_EQ(Json(std::uint64_t{1}).numKind(), Json::NumKind::U64);
+    EXPECT_EQ(Json(std::int64_t{1}).numKind(), Json::NumKind::I64);
+    // Integral kinds widen to double losslessly for small values.
+    EXPECT_DOUBLE_EQ(Json(std::uint64_t{42}).asDouble(), 42.0);
+    // An exactly-integral double narrows to u64/i64.
+    EXPECT_EQ(Json(42.0).asU64(), 42u);
+    EXPECT_THROW((void)Json(1.5).asU64(), JsonError);
+    EXPECT_THROW((void)Json(std::int64_t{-1}).asU64(), JsonError);
+}
+
+TEST(Json, AccessorsThrowOnTypeMismatch)
+{
+    EXPECT_THROW((void)Json("x").asBool(), JsonError);
+    EXPECT_THROW((void)Json(true).asDouble(), JsonError);
+    EXPECT_THROW((void)Json().asString(), JsonError);
+    EXPECT_THROW((void)Json(1.0).items(), JsonError);
+    EXPECT_THROW((void)Json(1.0).members(), JsonError);
+    EXPECT_THROW((void)Json().numKind(), JsonError);
+}
+
+TEST(Json, ObjectsKeepInsertionOrder)
+{
+    Json j = Json::object();
+    j.set("zebra", 1).set("alpha", 2).set("mid", 3);
+    ASSERT_EQ(j.size(), 3u);
+    EXPECT_EQ(j.members()[0].key, "zebra");
+    EXPECT_EQ(j.members()[1].key, "alpha");
+    EXPECT_EQ(j.members()[2].key, "mid");
+    // set() on an existing key overwrites in place, keeping order.
+    j.set("alpha", 9);
+    ASSERT_EQ(j.size(), 3u);
+    EXPECT_EQ(j.members()[1].key, "alpha");
+    EXPECT_EQ(j.at("alpha").asI64(), 9);
+    EXPECT_TRUE(j.contains("zebra"));
+    EXPECT_EQ(j.find("missing"), nullptr);
+    EXPECT_THROW((void)j.at("missing"), JsonError);
+}
+
+TEST(Json, SmallLeafCompositesPrintInline)
+{
+    Json leaf = Json::object();
+    leaf.set("value", 1.5).set("unit", "s");
+    EXPECT_EQ(leaf.dump(), "{\"value\": 1.5, \"unit\": \"s\"}");
+
+    Json arr = Json::array();
+    arr.push(1).push(2).push(3);
+    EXPECT_EQ(arr.dump(), "[1, 2, 3]");
+
+    Json nested = Json::object();
+    nested.set("inner", leaf);
+    EXPECT_EQ(nested.dump(),
+              "{\n  \"inner\": {\"value\": 1.5, \"unit\": \"s\"}\n}");
+}
+
+TEST(Json, DoublePrintingIsRoundTrippable)
+{
+    // Integral doubles keep a trailing ".0" so the kind survives a
+    // human read; everything else is shortest-round-trip.
+    EXPECT_EQ(Json(2.0).dump(), "2.0");
+    EXPECT_EQ(Json(0.001).dump(), "0.001");
+    EXPECT_EQ(Json(1e-4).dump(), "1e-04");
+    const double pi = 3.141592653589793;
+    EXPECT_EQ(Json::parse(Json(pi).dump()).asDouble(), pi);
+}
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(Json::parse("null").isNull());
+    EXPECT_TRUE(Json::parse("true").asBool());
+    EXPECT_FALSE(Json::parse("false").asBool());
+    EXPECT_EQ(Json::parse("123").numKind(), Json::NumKind::U64);
+    EXPECT_EQ(Json::parse("-123").numKind(), Json::NumKind::I64);
+    EXPECT_EQ(Json::parse("1.25").numKind(), Json::NumKind::Double);
+    EXPECT_DOUBLE_EQ(Json::parse("1e-4").asDouble(), 1e-4);
+    EXPECT_EQ(Json::parse("\"x\"").asString(), "x");
+}
+
+TEST(Json, ParsePreservesFullU64Range)
+{
+    const std::uint64_t max =
+        std::numeric_limits<std::uint64_t>::max();
+    const Json j = Json::parse("18446744073709551615");
+    EXPECT_EQ(j.asU64(), max);
+    EXPECT_EQ(j.dump(), "18446744073709551615");
+}
+
+TEST(Json, StringEscapes)
+{
+    const Json j = Json::parse(R"("a\"b\\c\n\tAé")");
+    EXPECT_EQ(j.asString(), "a\"b\\c\n\tA\xc3\xa9");
+    // Surrogate pair: U+1F600 as UTF-8.
+    EXPECT_EQ(Json::parse(R"("😀")").asString(),
+              "\xf0\x9f\x98\x80");
+    // Control characters re-escape on output.
+    EXPECT_EQ(Json(std::string("a\nb")).dump(), "\"a\\nb\"");
+}
+
+TEST(Json, DumpParseRoundTripIsIdentity)
+{
+    Json j = Json::object();
+    j.set("name", "round-trip")
+        .set("count", std::uint64_t{18446744073709551615ull})
+        .set("delta", std::int64_t{-42})
+        .set("ratio", 0.125)
+        .set("on", true)
+        .set("off", nullptr);
+    Json arr = Json::array();
+    arr.push(1).push("two").push(Json::object());
+    j.set("mixed", std::move(arr));
+
+    const Json back = Json::parse(j.dump());
+    EXPECT_TRUE(back == j);
+    // And printing is deterministic: same bytes both times.
+    EXPECT_EQ(back.dump(), j.dump());
+}
+
+TEST(Json, NumbersCompareByValueAcrossKinds)
+{
+    EXPECT_TRUE(Json(2.0) == Json(std::uint64_t{2}));
+    EXPECT_TRUE(Json(std::int64_t{2}) == Json(std::uint64_t{2}));
+    EXPECT_FALSE(Json(2.5) == Json(std::uint64_t{2}));
+}
+
+TEST(Json, ParseErrorsCarryContext)
+{
+    try {
+        Json::parse("{\n  \"a\": tru\n}");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 2"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(Json, MalformedInputThrows)
+{
+    EXPECT_THROW(Json::parse(""), JsonError);
+    EXPECT_THROW(Json::parse("{"), JsonError);
+    EXPECT_THROW(Json::parse("[1,]"), JsonError);
+    EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+    EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+    EXPECT_THROW(Json::parse("01"), JsonError);
+    EXPECT_THROW(Json::parse("1 2"), JsonError); // trailing garbage
+    EXPECT_THROW(Json::parse("nul"), JsonError);
+    EXPECT_THROW(Json::parse(R"({"a": 1, "a": 2})"), JsonError);
+}
+
+TEST(Json, DepthLimitStopsRunawayNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_THROW(Json::parse(deep), JsonError);
+}
+
+TEST(Json, ParseFileReportsMissingPath)
+{
+    try {
+        Json::parseFile("/nonexistent/ctamem.json");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &err) {
+        EXPECT_NE(
+            std::string(err.what()).find("/nonexistent/ctamem.json"),
+            std::string::npos)
+            << err.what();
+    }
+}
+
+} // namespace
+} // namespace ctamem::json

@@ -362,7 +362,7 @@ TEST_P(CtaHoldsProperty, SprayAttackNeverEscalates)
     config.seed = GetParam();
     sim::Machine machine(config);
     const attack::AttackResult result =
-        machine.attack(sim::AttackKind::ProjectZero);
+        machine.runAttack(sim::AttackKind::ProjectZero);
     EXPECT_NE(result.outcome, attack::Outcome::Escalated);
     EXPECT_NE(result.outcome, attack::Outcome::SelfReference);
     EXPECT_TRUE(machine.kernel().auditTheorem().holds());
@@ -375,7 +375,7 @@ TEST_P(CtaHoldsProperty, SprayAttackBeatsTheBaseline)
     config.seed = GetParam();
     sim::Machine machine(config);
     const attack::AttackResult result =
-        machine.attack(sim::AttackKind::ProjectZero);
+        machine.runAttack(sim::AttackKind::ProjectZero);
     EXPECT_EQ(result.outcome, attack::Outcome::Escalated)
         << result.detail;
 }

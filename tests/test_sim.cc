@@ -51,12 +51,12 @@ TEST(Machine, AttackMatrixHeadline)
     MachineConfig config;
     config.defense = DefenseKind::None;
     Machine vulnerable(config);
-    EXPECT_EQ(vulnerable.attack(AttackKind::ProjectZero).outcome,
+    EXPECT_EQ(vulnerable.runAttack(AttackKind::ProjectZero).outcome,
               attack::Outcome::Escalated);
 
     config.defense = DefenseKind::Cta;
     Machine protected_machine(config);
-    EXPECT_NE(protected_machine.attack(AttackKind::ProjectZero).outcome,
+    EXPECT_NE(protected_machine.runAttack(AttackKind::ProjectZero).outcome,
               attack::Outcome::Escalated);
 }
 
