@@ -21,7 +21,7 @@ unsigned
 detectionLatency(defense::AnvilObserver &anvil)
 {
     for (unsigned pass = 1; pass <= 16; ++pass) {
-        if (anvil.onHammer(0, 1000, 1'300'000, {999, 1001}))
+        if (anvil.onHammer({0, 1000, 1'300'000, 999, 1001}))
             return pass;
     }
     return 0;

@@ -260,13 +260,24 @@ main(int argc, char **argv)
 
     const AttackKind attack = attack_spec->kind;
     std::cout << "running: " << sim::attackName(attack) << "...\n\n";
+    // Event recording is opt-in since the mask-based engine; the lab
+    // wants the individual flips for its report, so hook a sink up.
+    std::vector<dram::FlipEvent> flips;
+    machine.engine().setEventSink(&flips);
     const attack::AttackResult result = machine.runAttack(attack);
+    machine.engine().setEventSink(nullptr);
+    std::uint64_t down = 0;
+    for (const dram::FlipEvent &flip : flips)
+        down += flip.dir == dram::FlipDirection::OneToZero;
 
     std::cout << "outcome:        "
               << attack::outcomeName(result.outcome) << '\n'
               << "detail:         " << result.detail << '\n'
               << "hammer passes:  " << result.hammerPasses << '\n'
               << "flips induced:  " << result.flipsInduced << '\n'
+              << "flips recorded: " << flips.size() << " ("
+              << down << " 1->0, " << flips.size() - down
+              << " 0->1)\n"
               << "self-refs:      " << result.selfReferences << '\n'
               << "PTEs corrupted: " << result.ptesCorrupted << '\n'
               << "modeled time:   "

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Full local CI: the tier-1 build + test suite, the scenario-manifest
-# smoke label, and the sanitizer-instrumented suites behind their
-# ctest labels (tsan for the thread-pool/campaign engine, ubsan for
-# the RNG/bit-twiddling-heavy suites).
+# smoke label, the hot-path benchmark regression gate, and the
+# sanitizer-instrumented suites behind their ctest labels (tsan for
+# the thread-pool/campaign engine, ubsan for the RNG/bit-twiddling-
+# heavy suites, asan for the mask-engine / sparse-frame suites).
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --fast     # tier-1 + scenario smoke only
 #
-# Build trees: build/ (tier-1), build-tsan/, build-ubsan/.
+# Build trees: build/ (tier-1), build-tsan/, build-ubsan/, build-asan/.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,6 +30,15 @@ step "tier-1: ctest"
 step "scenario smoke (every checked-in manifest, 1 cell each)"
 (cd build && ctest --output-on-failure -L scenario-smoke -j "$jobs")
 
+step "bench gate: hot-path microbenchmark vs checked-in baseline"
+# Three runs; the gate takes each metric's best to shed machine noise.
+for i in 1 2 3; do
+    ./build/bench/bench_hotpath_micro \
+        --out "build/BENCH_hotpath.run$i.json" >/dev/null
+done
+python3 scripts/check_bench.py --baseline BENCH_hotpath.json \
+    --current build/BENCH_hotpath.run{1,2,3}.json
+
 if [[ "$fast" == 1 ]]; then
     step "done (--fast: sanitizer suites skipped)"
     exit 0
@@ -43,5 +53,10 @@ step "ubsan: RNG / bit-manipulation suites"
 cmake -B build-ubsan -S . -DCTAMEM_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$jobs"
 (cd build-ubsan && ctest --output-on-failure -L ubsan -j "$jobs")
+
+step "asan: mask-engine / sparse-frame suites"
+cmake -B build-asan -S . -DCTAMEM_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$jobs"
+(cd build-asan && ctest --output-on-failure -L asan -j "$jobs")
 
 step "all checks passed"

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Gate the hot-path microbenchmark against the checked-in baseline.
+
+Compares a fresh ``bench_hotpath_micro`` report (``--current``) against
+the repository baseline (``--baseline``, normally
+``BENCH_hotpath.json`` at the repo root) and fails when a gated metric
+regresses by more than the tolerance.
+
+Gated metrics (the ones the mask-engine / VMA-index work optimises and
+which are stable enough on a shared box to gate on):
+
+  campaign_sweep   wall seconds, lower is better
+  walk_tlb_off     walks/s,      higher is better
+  walk_tlb_on      translations/s, higher is better
+
+The DRAM streaming numbers (``dram_read``/``dram_write``) are reported
+for information only — they swing with machine load far beyond any
+real code-level change.
+
+``--current`` accepts several reports; each metric uses its best
+value across them (min for lower-is-better, max otherwise).  On a
+shared box single runs swing far more than real regressions do —
+best-of-N is the de-noising; pass 3 runs.  The same reasoning shapes
+the baseline: capture it on a *busy* box (and say so in its
+``_note``), so that co-tenant load on the machine running the gate
+never reads as a regression.  A real one clears 10% regardless.
+
+Usage:
+  check_bench.py --baseline BENCH_hotpath.json \
+                 --current run1.json run2.json run3.json \
+                 [--tolerance 0.10]
+
+Exit status: 0 when every gated metric is within tolerance, 1 on
+regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+# metric -> direction ("lower" / "higher" is better)
+GATED = {
+    "campaign_sweep": "lower",
+    "walk_tlb_off": "higher",
+    "walk_tlb_on": "higher",
+}
+INFORMATIONAL = ["dram_read", "dram_write"]
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"check_bench: cannot read {path}: {exc}")
+
+
+def metric(report, path, name):
+    entry = report.get(name)
+    if not isinstance(entry, dict) or "value" not in entry:
+        sys.exit(f"check_bench: {path} is missing metric '{name}'")
+    return float(entry["value"]), entry.get("unit", "")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="checked-in reference report (repo root)")
+    ap.add_argument("--current", required=True, nargs="+",
+                    help="freshly produced report(s); best-of-N per metric")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional regression (default 0.10)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    currents = [(path, load(path)) for path in args.current]
+
+    def best(name, direction):
+        vals = [metric(rep, path, name)[0] for path, rep in currents]
+        return min(vals) if direction == "lower" else max(vals)
+
+    failures = []
+    print(f"check_bench: tolerance {args.tolerance:.0%}, "
+          f"best of {len(currents)} run(s) vs {args.baseline}")
+    for name, direction in GATED.items():
+        bval, unit = metric(base, args.baseline, name)
+        cval = best(name, direction)
+        if direction == "lower":
+            # e.g. 0.25 -> 0.30 s is a 20% regression
+            change = cval / bval - 1.0
+        else:
+            change = bval / cval - 1.0
+        verdict = "FAIL" if change > args.tolerance else "ok"
+        print(f"  {verdict:4} {name:16} base {bval:>14.6g} {unit:>16}"
+              f"  now {cval:>14.6g}  regression {change:+.1%}")
+        if verdict == "FAIL":
+            failures.append(name)
+
+    for name in INFORMATIONAL:
+        if name in base and all(name in rep for _, rep in currents):
+            bval, unit = metric(base, args.baseline, name)
+            cval = best(name, "higher")
+            print(f"  info {name:16} base {bval:>14.6g} {unit:>16}"
+                  f"  now {cval:>14.6g}  (not gated)")
+
+    if failures:
+        print(f"check_bench: REGRESSION in {', '.join(failures)} "
+              f"(> {args.tolerance:.0%} worse than baseline). "
+              "If intentional, refresh the baseline with "
+              "bench_hotpath_micro --out BENCH_hotpath.json.")
+        return 1
+    print("check_bench: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,11 +68,37 @@ runAlgorithm1(Kernel &kernel, dram::RowHammerEngine &engine,
     ctx.flushTlb();
 
     // Step (3): check all PTEs for self-reference; also collect the
-    // monotonicity evidence the theorem predicts.
+    // monotonicity evidence the theorem predicts.  The engine's mask
+    // profiles tell us which 64-bit words contain any vulnerable cell
+    // at all: a word with an empty mask cannot have changed, so its
+    // re-read is skipped outright — the attacker's memcmp cost is
+    // still charged in full below.
     Algorithm1Evidence local;
     local.ptesBefore = before.size();
     const Addr lwm = ptp->lowWaterMark();
+    const std::uint64_t row_bytes =
+        kernel.dram().geometry().rowBytes();
+    const dram::RowVulnProfile *profile = nullptr;
+    std::size_t word_ptr = 0;
     for (const auto &[addr, old_raw] : before) {
+        if (!profile || addr < profile->base ||
+            addr >= profile->base + row_bytes) {
+            const dram::Location loc = kernel.dram().locate(addr);
+            const std::uint64_t device =
+                kernel.dram().deviceRow(loc.bank, loc.row);
+            profile = &engine.rowProfile(loc.bank, device);
+            word_ptr = 0;
+        }
+        const auto word =
+            static_cast<std::uint32_t>((addr - profile->base) / 8);
+        while (word_ptr < profile->words.size() &&
+               profile->words[word_ptr].word < word) {
+            ++word_ptr; // `before` ascends, so this never rewinds
+        }
+        if (word_ptr >= profile->words.size() ||
+            profile->words[word_ptr].word != word) {
+            continue; // no vulnerable cell in this word: unchanged
+        }
         const std::uint64_t new_raw = kernel.dram().readU64(addr);
         if (new_raw == old_raw)
             continue;

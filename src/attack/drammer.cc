@@ -1,7 +1,10 @@
 #include "attack/drammer.hh"
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "attack/exploit.hh"
 #include "common/log.hh"
@@ -15,14 +18,7 @@ namespace {
 
 constexpr VAddr arenaBase = 0x0000'0040'0000'0000ULL;
 constexpr paging::PageFlags rwFlags{true, false, false};
-
-/** Fill one arena page with a 64-bit pattern. */
-void
-fillPage(Kernel &kernel, int pid, VAddr page, std::uint64_t pattern)
-{
-    for (std::uint64_t slot = 0; slot < pageSize / 8; ++slot)
-        kernel.writeUser(pid, page + slot * 8, pattern);
-}
+constexpr Addr noFrame = ~0ULL;
 
 } // namespace
 
@@ -46,19 +42,82 @@ templateMemory(Kernel &kernel, dram::RowHammerEngine &engine,
     }
 
     TemplateReport report;
+    std::vector<dram::FlipEvent> phase_events;
+    std::vector<dram::FlipEvent> *const outer_sink = engine.eventSink();
     for (const std::uint64_t pattern : {~0ULL, 0ULL}) {
-        for (std::uint64_t i = 0; i < config.arenaPages; ++i)
-            fillPage(kernel, pid, arenaBase + i * pageSize, pattern);
+        // Fill.  One write per page goes through the MMU so the PTE
+        // keeps the accessed/dirty side effects of a full-page fill
+        // (those bits are per page, so one walk sets what 512 walks
+        // would); the remaining slots are patterned through the
+        // module directly.
+        std::vector<Addr> filled(config.arenaPages, noFrame);
+        for (std::uint64_t i = 0; i < config.arenaPages; ++i) {
+            const kernel::UserAccess access = kernel.writeUser(
+                pid, arenaBase + i * pageSize, pattern);
+            if (!access)
+                continue;
+            for (std::uint64_t slot = 1; slot < pageSize / 8; ++slot)
+                kernel.dram().writeU64(access.phys + slot * 8,
+                                       pattern);
+            filled[i] = access.phys;
+        }
 
+        // Hammer with the engine's flip stream routed into this
+        // phase's buffer (chained to any sink the caller installed).
+        phase_events.clear();
+        engine.setEventSink(&phase_events);
         for (const auto &[bank, victim] : ctx.findSandwiches()) {
             ctx.hammerSandwich(bank, victim, config.cost);
             ++report.hammeredRows;
         }
+        engine.setEventSink(outer_sink);
+        if (outer_sink)
+            outer_sink->insert(outer_sink->end(),
+                               phase_events.begin(),
+                               phase_events.end());
         kernel.flushTlb();
+
+        // Scan.  A cell flips at most once per phase (its direction
+        // is fixed and a flipped cell no longer stores the value the
+        // flip consumes), so over a frame that still holds the fill
+        // pattern the engine's flip events ARE the memcmp diff — no
+        // per-slot re-read needed.  Group them by frame in the
+        // (slot, bit) order the scalar scan reported.
+        std::unordered_map<
+            Addr, std::vector<std::pair<std::uint64_t, unsigned>>>
+            flips_in;
+        for (const dram::FlipEvent &event : phase_events) {
+            const Addr frame = event.addr & ~(pageSize - 1);
+            flips_in[frame].emplace_back(
+                (event.addr & (pageSize - 1)) / 8,
+                static_cast<unsigned>(event.addr % 8) * 8 +
+                    event.bit);
+        }
+        for (auto &[frame, flips] : flips_in)
+            std::sort(flips.begin(), flips.end());
 
         for (std::uint64_t i = 0; i < config.arenaPages; ++i) {
             const VAddr page = arenaBase + i * pageSize;
-            for (std::uint64_t slot = 0; slot < pageSize / 8; ++slot) {
+            const kernel::UserAccess head = kernel.readUser(pid, page);
+            if (!head)
+                continue;
+            if (head.phys == filled[i]) {
+                const auto it = flips_in.find(head.phys);
+                if (it == flips_in.end())
+                    continue;
+                for (const auto &[slot, bit] : it->second) {
+                    report.templates.push_back(FlipTemplate{
+                        page, addrToPfn(head.phys), slot, bit,
+                        /*downward=*/pattern == ~0ULL});
+                }
+                continue;
+            }
+            // The page no longer resolves to the frame this phase
+            // patterned (fill faulted, or a flipped PTE re-pointed
+            // the translation): fall back to the full content diff
+            // of the scalar scan.
+            for (std::uint64_t slot = 0; slot < pageSize / 8;
+                 ++slot) {
                 const kernel::UserAccess access =
                     kernel.readUser(pid, page + slot * 8);
                 if (!access || access.value == pattern)

@@ -1,8 +1,8 @@
 #include "attack/primitives.hh"
 
 #include <algorithm>
-#include <map>
 #include <set>
+#include <unordered_map>
 
 #include "common/log.hh"
 
@@ -36,8 +36,11 @@ std::vector<OwnedRow>
 AttackerContext::ownedRows()
 {
     // Group the process's resident pages by (bank, logical row).
-    std::map<std::pair<std::uint64_t, std::uint64_t>,
-             std::vector<VAddr>> groups;
+    // Hash-grouped (a red-black tree insert per page dominated the
+    // campaign profile), then sorted so callers keep seeing rows in
+    // ascending (bank, row) order — hammer sequences, and with them
+    // the defenses' RNG streams, must not depend on hashing.
+    std::unordered_map<std::uint64_t, std::vector<VAddr>> groups;
     Process &proc = kernel_.process(pid_);
     for (const kernel::Vma &vma : proc.vmas) {
         for (VAddr va = vma.start; va < vma.end(); va += pageSize) {
@@ -49,14 +52,19 @@ AttackerContext::ownedRows()
                 continue; // not yet faulted in
             const dram::Location loc =
                 kernel_.dram().locate(walk.phys);
-            groups[{loc.bank, loc.row}].push_back(va);
+            groups[(loc.bank << 40) | loc.row].push_back(va);
         }
     }
     std::vector<OwnedRow> rows;
     rows.reserve(groups.size());
     for (auto &[key, vaddrs] : groups)
-        rows.push_back(OwnedRow{key.first, key.second,
+        rows.push_back(OwnedRow{key >> 40, key & ((1ULL << 40) - 1),
                                 std::move(vaddrs)});
+    std::sort(rows.begin(), rows.end(),
+              [](const OwnedRow &a, const OwnedRow &b) {
+                  return a.bank != b.bank ? a.bank < b.bank
+                                          : a.row < b.row;
+              });
     return rows;
 }
 

@@ -53,6 +53,13 @@ splitmix64(std::uint64_t x)
     return x ^ (x >> 31);
 }
 
+/**
+ * Key-mixing constant of stableHash().  Exposed so callers that fold
+ * one stableHash level into a precomputed base (the fault model's
+ * per-salt bases) stay bit-identical to the generic chain.
+ */
+inline constexpr std::uint64_t kStableHashMix = 0x517cc1b727220a95ULL;
+
 /** Combine any number of 64-bit keys into one stable hash value. */
 constexpr std::uint64_t
 stableHash(std::uint64_t seed)
@@ -64,7 +71,7 @@ template <typename... Rest>
 constexpr std::uint64_t
 stableHash(std::uint64_t seed, std::uint64_t key, Rest... rest)
 {
-    return stableHash(splitmix64(seed ^ (key + 0x517cc1b727220a95ULL)),
+    return stableHash(splitmix64(seed ^ (key + kStableHashMix)),
                       rest...);
 }
 

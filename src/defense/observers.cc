@@ -5,14 +5,12 @@
 namespace ctamem::defense {
 
 bool
-ParaObserver::onHammer(std::uint64_t, std::uint64_t,
-                       std::uint64_t activations,
-                       const std::vector<std::uint64_t> &)
+ParaObserver::onHammer(const dram::DisturbanceEvent &event)
 {
     // Victims survive one pass only if no activation triggered the
     // probabilistic neighbour refresh.
-    const double p_refreshed =
-        atLeastOne(probability_, static_cast<double>(activations));
+    const double p_refreshed = atLeastOne(
+        probability_, static_cast<double>(event.activations));
     if (rng_.chance(p_refreshed)) {
         ++mitigations_;
         return true;
@@ -21,9 +19,7 @@ ParaObserver::onHammer(std::uint64_t, std::uint64_t,
 }
 
 bool
-RefreshBoostObserver::onHammer(std::uint64_t, std::uint64_t,
-                               std::uint64_t,
-                               const std::vector<std::uint64_t> &)
+RefreshBoostObserver::onHammer(const dram::DisturbanceEvent &)
 {
     // One pass in `factor_` still accumulates enough disturbance
     // within the shortened refresh window.
@@ -53,11 +49,9 @@ AnvilObserver::decayWindow()
 }
 
 bool
-AnvilObserver::onHammer(std::uint64_t bank, std::uint64_t device_row,
-                        std::uint64_t activations,
-                        const std::vector<std::uint64_t> &)
+AnvilObserver::onHammer(const dram::DisturbanceEvent &event)
 {
-    if (observe(bank, device_row, activations)) {
+    if (observe(event.bank, event.aggressorRow, event.activations)) {
         ++detections_;
         ++mitigations_; // targeted neighbour refresh
         return true;

@@ -8,7 +8,6 @@
 #define CTAMEM_DEFENSE_OBSERVERS_HH
 
 #include <map>
-#include <vector>
 
 #include "common/rng.hh"
 #include "defense/defense.hh"
@@ -33,9 +32,7 @@ class ParaObserver : public ObserverDefense
 
     const char *name() const override { return "PARA"; }
 
-    bool onHammer(std::uint64_t bank, std::uint64_t device_row,
-                  std::uint64_t activations,
-                  const std::vector<std::uint64_t> &victims) override;
+    bool onHammer(const dram::DisturbanceEvent &event) override;
 
     double
     overheadFactor() const override
@@ -67,9 +64,7 @@ class RefreshBoostObserver : public ObserverDefense
 
     const char *name() const override { return "RefreshBoost"; }
 
-    bool onHammer(std::uint64_t bank, std::uint64_t device_row,
-                  std::uint64_t activations,
-                  const std::vector<std::uint64_t> &victims) override;
+    bool onHammer(const dram::DisturbanceEvent &event) override;
 
     double
     overheadFactor() const override
@@ -100,9 +95,7 @@ class AnvilObserver : public ObserverDefense
 
     const char *name() const override { return "ANVIL"; }
 
-    bool onHammer(std::uint64_t bank, std::uint64_t device_row,
-                  std::uint64_t activations,
-                  const std::vector<std::uint64_t> &victims) override;
+    bool onHammer(const dram::DisturbanceEvent &event) override;
 
     /** Feed benign access activity; returns true on false positive. */
     bool noteBenignActivity(std::uint64_t bank, std::uint64_t row,

@@ -7,12 +7,10 @@
 namespace ctamem::defense {
 
 bool
-SoftTrrObserver::onHammer(std::uint64_t bank,
-                          std::uint64_t device_row,
-                          std::uint64_t activations,
-                          const std::vector<std::uint64_t> &)
+SoftTrrObserver::onHammer(const dram::DisturbanceEvent &event)
 {
-    const std::uint64_t key = (bank << 40) | device_row;
+    const std::uint64_t key =
+        (event.bank << 40) | event.aggressorRow;
 
     Slot *slot = nullptr;
     for (Slot &candidate : table_) {
@@ -39,7 +37,7 @@ SoftTrrObserver::onHammer(std::uint64_t bank,
         }
     }
 
-    slot->count += activations;
+    slot->count += event.activations;
     if (slot->count >= threshold_) {
         // Target-row refresh: re-read the victims, restoring their
         // charge; the pass induces no flips.

@@ -48,9 +48,7 @@ class SoftTrrObserver : public ObserverDefense
 
     const char *name() const override { return "SoftTRR"; }
 
-    bool onHammer(std::uint64_t bank, std::uint64_t device_row,
-                  std::uint64_t activations,
-                  const std::vector<std::uint64_t> &victims) override;
+    bool onHammer(const dram::DisturbanceEvent &event) override;
 
     /** Rows currently holding a counter slot. */
     std::size_t trackedRows() const { return table_.size(); }

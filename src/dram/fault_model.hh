@@ -9,6 +9,24 @@
  * style "memory templating" (van der Veen et al.) only works because a
  * real module's flippable bits are a fixed physical property, and the
  * attacks we reproduce rely on exactly that.
+ *
+ * Two access granularities share one definition of the properties:
+ *
+ *  - scalar accessors (vulnerable / flipDirection / tripThreshold /
+ *    retentionTime) answer for a single (addr, bit) cell; and
+ *  - word accessors (vulnMaskWord / flipDirMaskWord / tripMaskWord)
+ *    answer for the 64 cells backing 8 consecutive bytes at once,
+ *    bit k of the mask describing cell (addr + k/8, k%8) — the layout
+ *    of a little-endian 64-bit load, so masks AND/XOR directly against
+ *    SparseStore::readU64() words.
+ *
+ * The word accessors are *bit-identical* to 64 scalar calls: both
+ * paths hoist the per-salt stableHash prefix into a precomputed base
+ * (two splitmix64 rounds per cell instead of three) and compare the
+ * raw 53-bit
+ * hash against an integer threshold.  Multiplying a probability by
+ * 2^53 is exact (power-of-two scaling), so `hash01(...) < p` and the
+ * integer compare agree for every hash value.
  */
 
 #ifndef CTAMEM_DRAM_FAULT_MODEL_HH
@@ -16,6 +34,7 @@
 
 #include <cstdint>
 
+#include "common/rng.hh"
 #include "common/types.hh"
 #include "dram/cell_types.hh"
 #include "dram/error_stats.hh"
@@ -30,14 +49,24 @@ class FaultModel
 {
   public:
     FaultModel(std::uint64_t seed, const ErrorStats &stats)
-        : seed_(seed), stats_(stats)
+        : seed_(seed), stats_(stats),
+          vulnBase_(saltBase(seed, saltVulnerable)),
+          dirBase_(saltBase(seed, saltDirection)),
+          thrBase_(saltBase(seed, saltThreshold)),
+          retBase_(saltBase(seed, saltRetention)),
+          vulnLt_(strictThreshold(stats.pf)),
+          dirLt_(strictThreshold(stats.p10True))
     {}
 
     const ErrorStats &stats() const { return stats_; }
     std::uint64_t seed() const { return seed_; }
 
     /** True iff the cell at (@p addr, @p bit) is RowHammer-flippable. */
-    bool vulnerable(Addr addr, unsigned bit) const;
+    bool
+    vulnerable(Addr addr, unsigned bit) const
+    {
+        return cellHash(vulnBase_, cellIndex(addr, bit)) < vulnLt_;
+    }
 
     /**
      * Flip direction of a *vulnerable* cell that sits in a row of
@@ -46,8 +75,20 @@ class FaultModel
      * models circuit effects such as voltage coupling.  Anti-cell rows
      * mirror the distribution.
      */
-    FlipDirection flipDirection(Addr addr, unsigned bit,
-                                CellType type) const;
+    FlipDirection
+    flipDirection(Addr addr, unsigned bit, CellType type) const
+    {
+        const bool dominant =
+            cellHash(dirBase_, cellIndex(addr, bit)) < dirLt_;
+        if (type == CellType::True) {
+            // Dominant: leak from the charged '1' state.
+            return dominant ? FlipDirection::OneToZero :
+                              FlipDirection::ZeroToOne;
+        }
+        // Anti-cells leak from the charged '0' state.
+        return dominant ? FlipDirection::ZeroToOne :
+                          FlipDirection::OneToZero;
+    }
 
     /**
      * Minimum hammer intensity (in [0,1]) that trips this vulnerable
@@ -55,7 +96,11 @@ class FaultModel
      * every vulnerable cell; a single-sided hammer applies a smaller
      * intensity and trips only the most sensitive subset.
      */
-    double tripThreshold(Addr addr, unsigned bit) const;
+    double
+    tripThreshold(Addr addr, unsigned bit) const
+    {
+        return toUnit(cellHash(thrBase_, cellIndex(addr, bit)));
+    }
 
     /**
      * Retention time of the cell at ambient temperature @p celsius.
@@ -66,15 +111,157 @@ class FaultModel
     SimTime retentionTime(Addr addr, unsigned bit,
                           double celsius = 20.0) const;
 
+    /** @name Word-granular accessors (64 cells per call)
+     *
+     * Each mask describes the cells backing the 8 bytes at
+     * [@p addr, @p addr + 8): bit k corresponds to cell
+     * (addr + k/8, k%8), matching bit k of a little-endian u64 load
+     * of those bytes.  @p lanes restricts the work to the set bits
+     * (cleared lanes come back 0 and cost nothing); the default
+     * computes all 64 and is bit-identical to 64 scalar calls.
+     */
+    /** @{ */
+    /** Bit k set iff cell k is RowHammer-vulnerable. */
+    std::uint64_t
+    vulnMaskWord(Addr addr, std::uint64_t lanes = ~0ULL) const
+    {
+        return maskLt(vulnBase_, addr * 8, vulnLt_, lanes);
+    }
+
+    /** Bit k set iff vulnerable cell k flips '1'->'0' under @p type. */
+    std::uint64_t
+    flipDirMaskWord(Addr addr, CellType type,
+                    std::uint64_t lanes = ~0ULL) const
+    {
+        const std::uint64_t dominant =
+            maskLt(dirBase_, addr * 8, dirLt_, lanes);
+        // True cells: dominant leak is '1'->'0'; anti-cells mirror.
+        return type == CellType::True ? dominant : (lanes & ~dominant);
+    }
+
+    /** Bit k set iff cell k's trip threshold is <= @p intensity. */
+    std::uint64_t
+    tripMaskWord(Addr addr, double intensity,
+                 std::uint64_t lanes = ~0ULL) const
+    {
+        if (intensity < 0.0)
+            return 0;
+        // tripThreshold <= i  <=>  hash53 <= floor(i * 2^53): the
+        // hash is an integer exactly representable as a double, so
+        // the real-number comparison truncates to an integer one.
+        const std::uint64_t le =
+            static_cast<std::uint64_t>(intensity *
+                                       9007199254740992.0);
+        return maskLe(thrBase_, addr * 8, le, lanes);
+    }
+
+    /**
+     * Bulk scan: vulnerability masks for @p words consecutive 8-byte
+     * words starting at @p addr (one row worth in the hammer engine).
+     * Uses the AVX-512 lane kernel when the CPU has one; always
+     * bit-identical to vulnMaskWord() per word.
+     */
+    void vulnMaskRow(Addr addr, std::size_t words,
+                     std::uint64_t *out) const;
+    /** @} */
+
   private:
+    // Salts keep the independent per-cell properties decorrelated.
+    static constexpr std::uint64_t saltVulnerable = 0x76756c6eULL;
+    static constexpr std::uint64_t saltDirection = 0x64697265ULL;
+    static constexpr std::uint64_t saltThreshold = 0x74687265ULL;
+    static constexpr std::uint64_t saltRetention = 0x72657465ULL;
+
     static std::uint64_t
     cellIndex(Addr addr, unsigned bit)
     {
         return addr * 8 + bit;
     }
 
+    /**
+     * Hoisted prefix of stableHash(seed, salt, idx): the chain is
+     * splitmix64(splitmix64(splitmix64(seed ^ (salt+M)) ^ (idx+M)))
+     * — two key-folding rounds plus the terminal finalizer — and the
+     * innermost term depends only on (seed, salt).
+     */
+    static std::uint64_t
+    saltBase(std::uint64_t seed, std::uint64_t salt)
+    {
+        return splitmix64(seed ^ (salt + kStableHashMix));
+    }
+
+    /** 53-bit hash of one cell under a hoisted salt base. */
+    static std::uint64_t
+    cellHash(std::uint64_t base, std::uint64_t idx)
+    {
+        return splitmix64(splitmix64(base ^ (idx + kStableHashMix))) >>
+               11;
+    }
+
+    /** The double in [0,1) hash01() would have produced. */
+    static double
+    toUnit(std::uint64_t hash53)
+    {
+        return static_cast<double>(hash53) *
+               (1.0 / 9007199254740992.0);
+    }
+
+    /**
+     * Integer threshold T with  hash53 < T  <=>  toUnit(hash53) < p.
+     * p * 2^53 is exact, and hash53 converts to double exactly, so
+     * the strict real comparison equals `hash53 < ceil-adjusted(T)`.
+     */
+    static std::uint64_t
+    strictThreshold(double p)
+    {
+        const double scaled = p * 9007199254740992.0;
+        if (scaled <= 0.0)
+            return 0;
+        if (scaled >= 9007199254740992.0)
+            return 9007199254740992ULL; // every 53-bit hash passes
+        const auto floor53 = static_cast<std::uint64_t>(scaled);
+        return static_cast<double>(floor53) < scaled ? floor53 + 1 :
+                                                       floor53;
+    }
+
+    /** Mask of lanes with cellHash < @p lt (strict compare). */
+    std::uint64_t
+    maskLt(std::uint64_t base, std::uint64_t idx0, std::uint64_t lt,
+           std::uint64_t lanes) const
+    {
+        std::uint64_t mask = 0;
+        for (std::uint64_t rest = lanes; rest; rest &= rest - 1) {
+            const unsigned k = std::countr_zero(rest);
+            mask |= static_cast<std::uint64_t>(
+                        cellHash(base, idx0 + k) < lt)
+                    << k;
+        }
+        return mask;
+    }
+
+    /** Mask of lanes with cellHash <= @p le. */
+    std::uint64_t
+    maskLe(std::uint64_t base, std::uint64_t idx0, std::uint64_t le,
+           std::uint64_t lanes) const
+    {
+        std::uint64_t mask = 0;
+        for (std::uint64_t rest = lanes; rest; rest &= rest - 1) {
+            const unsigned k = std::countr_zero(rest);
+            mask |= static_cast<std::uint64_t>(
+                        cellHash(base, idx0 + k) <= le)
+                    << k;
+        }
+        return mask;
+    }
+
     std::uint64_t seed_;
     ErrorStats stats_;
+    std::uint64_t vulnBase_;
+    std::uint64_t dirBase_;
+    std::uint64_t thrBase_;
+    std::uint64_t retBase_;
+    std::uint64_t vulnLt_;
+    std::uint64_t dirLt_;
 };
 
 } // namespace ctamem::dram

@@ -1,8 +1,11 @@
 #include "dram/hammer.hh"
 
 #include <algorithm>
+#include <bit>
+#include <mutex>
 
 #include "common/log.hh"
+#include "common/rng.hh"
 
 namespace ctamem::dram {
 
@@ -15,39 +18,180 @@ rowKey(std::uint64_t bank, std::uint64_t device_row)
     return (bank << 40) | device_row;
 }
 
+/** Build the mask profile of one row from the fault model. */
+std::shared_ptr<const RowVulnProfile>
+buildProfile(const FaultModel &faults, Addr base, CellType type,
+             std::uint64_t row_bytes, std::vector<std::uint64_t> &scratch)
+{
+    auto profile = std::make_shared<RowVulnProfile>();
+    profile->base = base;
+    profile->type = type;
+    profile->mapped = true;
+
+    const std::size_t row_words = row_bytes / 8;
+    scratch.resize(row_words);
+    faults.vulnMaskRow(base, row_words, scratch.data());
+
+    for (std::size_t w = 0; w < row_words; ++w) {
+        const std::uint64_t vuln = scratch[w];
+        if (!vuln)
+            continue;
+        const Addr waddr = base + w * 8;
+        // Direction and trip masks only need the vulnerable lanes:
+        // the apply step never consults them outside `vuln`.
+        const std::uint64_t dir10 =
+            faults.flipDirMaskWord(waddr, type, vuln);
+        const std::uint64_t trip = faults.tripMaskWord(
+            waddr, RowHammerEngine::singleSidedIntensity, vuln);
+        profile->words.push_back(
+            MaskWord{static_cast<std::uint32_t>(w), vuln, dir10, trip});
+        profile->vulnerableCells += std::popcount(vuln);
+        profile->tripSingleCells += std::popcount(trip);
+    }
+    return profile;
+}
+
+/**
+ * Process-wide row-profile cache.  Profiles are pure functions of
+ * (seed, error stats, row base, cell type, row size), so engines over
+ * identical modules — e.g. the per-defense machines of one campaign
+ * sweep, which all boot the same seed — share one scan per row.
+ * Sharded mutexes keep campaign worker threads out of each other's
+ * way; a racing double-build is harmless (both results are identical)
+ * and first-insert-wins.
+ */
+class ProfileCache
+{
+  public:
+    static ProfileCache &
+    instance()
+    {
+        static ProfileCache cache;
+        return cache;
+    }
+
+    std::shared_ptr<const RowVulnProfile>
+    fetch(const FaultModel &faults, Addr base, CellType type,
+          std::uint64_t row_bytes, std::vector<std::uint64_t> &scratch)
+    {
+        const Key key{faults.seed(),
+                      std::bit_cast<std::uint64_t>(faults.stats().pf),
+                      std::bit_cast<std::uint64_t>(
+                          faults.stats().p10True),
+                      row_bytes, base, type};
+        Shard &shard = shards_[KeyHash{}(key) % kShards];
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            auto it = shard.map.find(key);
+            if (it != shard.map.end())
+                return it->second;
+        }
+        auto built = buildProfile(faults, base, type, row_bytes,
+                                  scratch);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end())
+            return it->second; // lost the race: share the winner
+        if (shard.map.size() >= kMaxPerShard)
+            return built; // bounded memory: serve uncached
+        shard.map.emplace(key, built);
+        return built;
+    }
+
+  private:
+    struct Key
+    {
+        std::uint64_t seed;
+        std::uint64_t pfBits;
+        std::uint64_t p10Bits;
+        std::uint64_t rowBytes;
+        Addr base;
+        CellType type;
+
+        bool operator==(const Key &) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &key) const
+        {
+            return stableHash(key.seed, key.pfBits, key.p10Bits,
+                              key.rowBytes, key.base,
+                              static_cast<std::uint64_t>(key.type));
+        }
+    };
+
+    static constexpr unsigned kShards = 8;
+    static constexpr std::size_t kMaxPerShard = 128;
+
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unordered_map<Key, std::shared_ptr<const RowVulnProfile>,
+                           KeyHash>
+            map;
+    };
+
+    Shard shards_[kShards];
+};
+
 } // namespace
 
-const std::vector<VulnerableBit> &
+std::uint64_t
+DisturbanceEvent::vulnerableCellsIn(std::uint64_t device_row) const
+{
+    if (!engine)
+        return 0;
+    return engine->rowProfile(bank, device_row).vulnerableCells;
+}
+
+const RowVulnProfile &
+RowHammerEngine::rowProfile(std::uint64_t bank,
+                            std::uint64_t device_row)
+{
+    static const RowVulnProfile vacant{};
+    // The fault model keys on the *logical* address whose data the
+    // device row holds; follow the remap table back.
+    const Addr base = module_.rowBase(bank, device_row);
+    if (base == ~0ULL)
+        return vacant; // vacated by re-mapping: no logical data
+    const CellType type = module_.cellMap().rowType(device_row);
+
+    const std::uint64_t key = rowKey(bank, device_row);
+    auto it = profiles_.find(key);
+    if (it != profiles_.end() && it->second->base == base &&
+        it->second->type == type) {
+        return *it->second; // still describes this device row
+    }
+    auto shared = ProfileCache::instance().fetch(
+        module_.faults(), base, type, module_.geometry().rowBytes(),
+        scanBuffer_);
+    auto &slot = profiles_[key];
+    slot = std::move(shared);
+    return *slot;
+}
+
+std::vector<VulnerableBit>
 RowHammerEngine::vulnerableBits(std::uint64_t bank,
                                 std::uint64_t device_row)
 {
-    const std::uint64_t key = rowKey(bank, device_row);
-    auto it = vulnCache_.find(key);
-    if (it != vulnCache_.end())
-        return it->second;
-
-    const Geometry &geom = module_.geometry();
-    // The fault model keys on the *logical* address whose data the
-    // device row holds; follow the remap table back.
-    const std::uint64_t logical = module_.logicalRow(bank, device_row);
+    const RowVulnProfile &profile = rowProfile(bank, device_row);
+    const FaultModel &faults = module_.faults();
     std::vector<VulnerableBit> found;
-    if (logical != ~0ULL) {
-        const Addr base =
-            geom.address(Location{bank, logical, 0});
-        const FaultModel &faults = module_.faults();
-        for (std::uint64_t col = 0; col < geom.rowBytes(); ++col) {
-            for (unsigned bit = 0; bit < 8; ++bit) {
-                if (faults.vulnerable(base + col, bit)) {
-                    found.push_back(VulnerableBit{
-                        col, bit,
-                        faults.tripThreshold(base + col, bit)});
-                }
-            }
+    found.reserve(profile.vulnerableCells);
+    for (const MaskWord &mw : profile.words) {
+        for (std::uint64_t rest = mw.vuln; rest; rest &= rest - 1) {
+            const unsigned k = std::countr_zero(rest);
+            const std::uint64_t column = mw.word * 8ULL + k / 8;
+            const unsigned bit = k % 8;
+            found.push_back(VulnerableBit{
+                column, bit,
+                faults.tripThreshold(profile.base + column, bit)});
         }
     }
-    // Ascending trip threshold, so disturbance passes can stop at
-    // the first cell their intensity cannot trip; (column, bit)
-    // tie-break keeps templating runs bit-for-bit reproducible.
+    // Ascending trip threshold with a (column, bit) tie-break — the
+    // order the scalar disturbance loop consumed.
     std::sort(found.begin(), found.end(),
               [](const VulnerableBit &a, const VulnerableBit &b) {
                   if (a.threshold != b.threshold)
@@ -55,7 +199,7 @@ RowHammerEngine::vulnerableBits(std::uint64_t bank,
                   return a.column != b.column ? a.column < b.column
                                               : a.bit < b.bit;
               });
-    return vulnCache_.emplace(key, std::move(found)).first->second;
+    return found;
 }
 
 void
@@ -64,32 +208,50 @@ RowHammerEngine::disturbDeviceRow(std::uint64_t bank,
                                   double intensity,
                                   HammerResult &result)
 {
-    const std::uint64_t logical = module_.logicalRow(bank, device_row);
-    if (logical == ~0ULL)
-        return; // vacated by re-mapping: no logical data to corrupt
-    const Geometry &geom = module_.geometry();
-    const Addr base = geom.address(Location{bank, logical, 0});
-    const CellType type = module_.cellMap().rowType(device_row);
-    const FaultModel &faults = module_.faults();
+    const RowVulnProfile &profile = rowProfile(bank, device_row);
+    if (!profile.mapped || profile.words.empty())
+        return;
 
-    const std::vector<VulnerableBit> &cells =
-        vulnerableBits(bank, device_row);
-    result.events.reserve(result.events.size() + cells.size());
-    for (const VulnerableBit &cell : cells) {
-        if (cell.threshold > intensity)
-            break; // sorted ascending: nothing further can trip
-        const Addr addr = base + cell.column;
-        const FlipDirection dir =
-            faults.flipDirection(addr, cell.bit, type);
-        const bool stored = module_.store().readBit(addr, cell.bit);
-        if (dir == FlipDirection::OneToZero && stored) {
-            module_.store().writeBit(addr, cell.bit, false);
-            ++result.flips10;
-            result.events.push_back(FlipEvent{addr, cell.bit, dir});
-        } else if (dir == FlipDirection::ZeroToOne && !stored) {
-            module_.store().writeBit(addr, cell.bit, true);
-            ++result.flips01;
-            result.events.push_back(FlipEvent{addr, cell.bit, dir});
+    SparseStore &store = module_.store();
+    const FaultModel &faults = module_.faults();
+    const bool full = intensity >= doubleSidedIntensity;
+    const bool single = intensity == singleSidedIntensity;
+    const bool emit = recordEvents_ || sink_ != nullptr;
+
+    for (const MaskWord &mw : profile.words) {
+        const Addr waddr = profile.base + mw.word * 8ULL;
+        // Candidate cells: intensity at or above the trip threshold.
+        // Full intensity trips every vulnerable cell (thresholds live
+        // in [0,1)); the single-sided mask is precomputed; any other
+        // intensity asks the fault model directly.
+        const std::uint64_t candidates =
+            full ? mw.vuln :
+            single ? mw.trip :
+                     faults.tripMaskWord(waddr, intensity, mw.vuln);
+        if (!candidates)
+            continue;
+        const std::uint64_t stored = store.readU64(waddr);
+        // A flip consumes the stored value its direction leaks from.
+        const std::uint64_t f10 = candidates & mw.dir10 & stored;
+        const std::uint64_t f01 = candidates & ~mw.dir10 & ~stored;
+        const std::uint64_t flips = f10 | f01;
+        if (!flips)
+            continue;
+        store.writeU64(waddr, (stored & ~f10) | f01);
+        result.flips10 += std::popcount(f10);
+        result.flips01 += std::popcount(f01);
+        if (emit) {
+            for (std::uint64_t rest = flips; rest; rest &= rest - 1) {
+                const unsigned k = std::countr_zero(rest);
+                const FlipEvent event{
+                    waddr + (k >> 3), k & 7u,
+                    (f10 >> k) & 1 ? FlipDirection::OneToZero :
+                                     FlipDirection::ZeroToOne};
+                if (recordEvents_)
+                    result.events.push_back(event);
+                if (sink_)
+                    sink_->push_back(event);
+            }
         }
     }
 }
@@ -105,22 +267,28 @@ RowHammerEngine::hammerRow(std::uint64_t bank, std::uint64_t row)
     stats_.at(passesId_).increment();
 
     const std::uint64_t aggressor = module_.deviceRow(bank, row);
-    std::vector<std::uint64_t> victims;
-    if (aggressor > 0)
-        victims.push_back(aggressor - 1);
-    if (aggressor + 1 < geom.rowsPerBank())
-        victims.push_back(aggressor + 1);
+    const std::uint64_t rows = geom.rowsPerBank();
+    const bool below = aggressor > 0;
+    const bool above = aggressor + 1 < rows;
 
-    if (observer_ &&
-        observer_->onHammer(bank, aggressor, activationsPerPass,
-                            victims)) {
-        result.suppressed = true;
-        stats_.at(suppressedPassesId_).increment();
-        return result;
+    if (observer_) {
+        const DisturbanceEvent event{
+            bank, aggressor, activationsPerPass,
+            below ? aggressor - 1 : aggressor,
+            above ? aggressor + 1 : aggressor, this};
+        if (observer_->onHammer(event)) {
+            result.suppressed = true;
+            stats_.at(suppressedPassesId_).increment();
+            return result;
+        }
     }
 
-    for (std::uint64_t victim : victims)
-        disturbDeviceRow(bank, victim, singleSidedIntensity, result);
+    if (below)
+        disturbDeviceRow(bank, aggressor - 1, singleSidedIntensity,
+                         result);
+    if (above)
+        disturbDeviceRow(bank, aggressor + 1, singleSidedIntensity,
+                         result);
 
     stats_.at(flips10Id_).increment(result.flips10);
     stats_.at(flips01Id_).increment(result.flips01);
@@ -139,20 +307,30 @@ RowHammerEngine::hammerDoubleSided(std::uint64_t bank,
     stats_.at(passesId_).increment();
 
     const std::uint64_t victim = module_.deviceRow(bank, victim_row);
-    if (victim == 0 || victim + 1 >= geom.rowsPerBank()) {
+    const std::uint64_t rows = geom.rowsPerBank();
+    if (victim == 0 || victim + 1 >= rows) {
         // No sandwich possible at the bank edge; fall back to
         // single-sided behaviour on the one existing neighbour.
         return hammerRow(bank, victim_row);
     }
 
-    const std::vector<std::uint64_t> victims{victim - 1, victim,
-                                             victim + 1};
     bool suppressed = false;
     if (observer_) {
-        suppressed |= observer_->onHammer(bank, victim - 1,
-                                          activationsPerPass, victims);
-        suppressed |= observer_->onHammer(bank, victim + 1,
-                                          activationsPerPass, victims);
+        // One event per aggressor; the span covers every row the
+        // pair can disturb (the outer neighbours see single-sided
+        // intensity).
+        const std::uint64_t first = victim >= 2 ? victim - 2 :
+                                                  victim - 1;
+        const std::uint64_t last = victim + 2 < rows ? victim + 2 :
+                                                       victim + 1;
+        const DisturbanceEvent lower{bank, victim - 1,
+                                     activationsPerPass, first, last,
+                                     this};
+        const DisturbanceEvent upper{bank, victim + 1,
+                                     activationsPerPass, first, last,
+                                     this};
+        suppressed |= observer_->onHammer(lower);
+        suppressed |= observer_->onHammer(upper);
     }
     if (suppressed) {
         result.suppressed = true;
@@ -163,13 +341,132 @@ RowHammerEngine::hammerDoubleSided(std::uint64_t bank,
     disturbDeviceRow(bank, victim, doubleSidedIntensity, result);
     // The aggressors' outer neighbours see single-sided disturbance.
     if (victim >= 2)
-        disturbDeviceRow(bank, victim - 2, singleSidedIntensity, result);
-    if (victim + 2 < geom.rowsPerBank())
-        disturbDeviceRow(bank, victim + 2, singleSidedIntensity, result);
+        disturbDeviceRow(bank, victim - 2, singleSidedIntensity,
+                         result);
+    if (victim + 2 < rows)
+        disturbDeviceRow(bank, victim + 2, singleSidedIntensity,
+                         result);
 
     stats_.at(flips10Id_).increment(result.flips10);
     stats_.at(flips01Id_).increment(result.flips01);
     return result;
 }
+
+namespace reference {
+
+namespace {
+
+/** The scalar engine's row scan: every cell, one hash at a time. */
+std::vector<VulnerableBit>
+scanRowScalar(DramModule &module, std::uint64_t bank,
+              std::uint64_t device_row)
+{
+    const Geometry &geom = module.geometry();
+    const std::uint64_t logical = module.logicalRow(bank, device_row);
+    std::vector<VulnerableBit> found;
+    if (logical != ~0ULL) {
+        const Addr base = geom.address(Location{bank, logical, 0});
+        const FaultModel &faults = module.faults();
+        for (std::uint64_t col = 0; col < geom.rowBytes(); ++col) {
+            for (unsigned bit = 0; bit < 8; ++bit) {
+                if (faults.vulnerable(base + col, bit)) {
+                    found.push_back(VulnerableBit{
+                        col, bit,
+                        faults.tripThreshold(base + col, bit)});
+                }
+            }
+        }
+    }
+    std::sort(found.begin(), found.end(),
+              [](const VulnerableBit &a, const VulnerableBit &b) {
+                  if (a.threshold != b.threshold)
+                      return a.threshold < b.threshold;
+                  return a.column != b.column ? a.column < b.column
+                                              : a.bit < b.bit;
+              });
+    return found;
+}
+
+/** The scalar engine's disturbance pass: readBit/writeBit per cell. */
+void
+disturbScalar(DramModule &module, std::uint64_t bank,
+              std::uint64_t device_row, double intensity,
+              HammerResult &result)
+{
+    const std::uint64_t logical = module.logicalRow(bank, device_row);
+    if (logical == ~0ULL)
+        return;
+    const Geometry &geom = module.geometry();
+    const Addr base = geom.address(Location{bank, logical, 0});
+    const CellType type = module.cellMap().rowType(device_row);
+    const FaultModel &faults = module.faults();
+
+    const std::vector<VulnerableBit> cells =
+        scanRowScalar(module, bank, device_row);
+    for (const VulnerableBit &cell : cells) {
+        if (cell.threshold > intensity)
+            break; // sorted ascending: nothing further can trip
+        const Addr addr = base + cell.column;
+        const FlipDirection dir =
+            faults.flipDirection(addr, cell.bit, type);
+        const bool stored = module.store().readBit(addr, cell.bit);
+        if (dir == FlipDirection::OneToZero && stored) {
+            module.store().writeBit(addr, cell.bit, false);
+            ++result.flips10;
+            result.events.push_back(FlipEvent{addr, cell.bit, dir});
+        } else if (dir == FlipDirection::ZeroToOne && !stored) {
+            module.store().writeBit(addr, cell.bit, true);
+            ++result.flips01;
+            result.events.push_back(FlipEvent{addr, cell.bit, dir});
+        }
+    }
+}
+
+} // namespace
+
+HammerResult
+hammerRowScalar(DramModule &module, std::uint64_t bank,
+                std::uint64_t row)
+{
+    const Geometry &geom = module.geometry();
+    if (bank >= geom.banks() || row >= geom.rowsPerBank())
+        fatal("hammerRowScalar: row out of range");
+
+    HammerResult result;
+    const std::uint64_t aggressor = module.deviceRow(bank, row);
+    if (aggressor > 0)
+        disturbScalar(module, bank, aggressor - 1,
+                      RowHammerEngine::singleSidedIntensity, result);
+    if (aggressor + 1 < geom.rowsPerBank())
+        disturbScalar(module, bank, aggressor + 1,
+                      RowHammerEngine::singleSidedIntensity, result);
+    return result;
+}
+
+HammerResult
+hammerDoubleSidedScalar(DramModule &module, std::uint64_t bank,
+                        std::uint64_t victim_row)
+{
+    const Geometry &geom = module.geometry();
+    if (bank >= geom.banks() || victim_row >= geom.rowsPerBank())
+        fatal("hammerDoubleSidedScalar: row out of range");
+
+    const std::uint64_t victim = module.deviceRow(bank, victim_row);
+    if (victim == 0 || victim + 1 >= geom.rowsPerBank())
+        return hammerRowScalar(module, bank, victim_row);
+
+    HammerResult result;
+    disturbScalar(module, bank, victim,
+                  RowHammerEngine::doubleSidedIntensity, result);
+    if (victim >= 2)
+        disturbScalar(module, bank, victim - 2,
+                      RowHammerEngine::singleSidedIntensity, result);
+    if (victim + 2 < geom.rowsPerBank())
+        disturbScalar(module, bank, victim + 2,
+                      RowHammerEngine::singleSidedIntensity, result);
+    return result;
+}
+
+} // namespace reference
 
 } // namespace ctamem::dram

@@ -9,15 +9,26 @@
  * currently stores the value its flip direction consumes, and (c) no
  * mitigation suppressed the disturbance.
  *
- * Mitigations (PARA, ANVIL, refresh boosting...) observe activations
- * through the DisturbanceObserver interface, implemented in
- * src/defense/ — the DRAM layer stays independent of defense policy.
+ * The data path is row-granular and bit-parallel: each disturbed row
+ * is described by a RowVulnProfile — per-64-cell-word masks of
+ * vulnerability, flip direction and single-sided trip — and a hammer
+ * pass is AND/XOR/popcount over those masks against the store's
+ * readU64()/writeU64() fast path.  Profiles are pure functions of the
+ * module seed, so they are cached per (bank, device row) and shared
+ * process-wide between engines that simulate identical modules.
+ *
+ * Mitigations (PARA, ANVIL, refresh boosting, SoftTRR...) observe
+ * activations through the DisturbanceObserver interface, implemented
+ * in src/defense/ — the DRAM layer stays independent of defense
+ * policy.  One pass is announced as one DisturbanceEvent per
+ * aggressor row.
  */
 
 #ifndef CTAMEM_DRAM_HAMMER_HH
 #define CTAMEM_DRAM_HAMMER_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +37,8 @@
 #include "dram/module.hh"
 
 namespace ctamem::dram {
+
+class RowHammerEngine;
 
 /** One bit flip produced by a hammer pass. */
 struct FlipEvent
@@ -40,6 +53,11 @@ struct HammerResult
 {
     std::uint64_t flips10 = 0; //!< '1'->'0' flips applied
     std::uint64_t flips01 = 0; //!< '0'->'1' flips applied
+    /**
+     * Individual flips, populated only when the engine's event
+     * recording is on (RowHammerEngine::setRecordEvents) — campaign
+     * hot loops skip the per-pass vector entirely.
+     */
     std::vector<FlipEvent> events;
     bool suppressed = false;   //!< a mitigation refreshed the victims
 
@@ -47,22 +65,50 @@ struct HammerResult
 };
 
 /**
- * Hook for RowHammer mitigations.  Called once per hammer pass with
- * the aggressor's device coordinates and the candidate victim rows.
+ * One burst of activations on an aggressor row, as seen by a
+ * mitigation.  Replaces the old positional (bank, row, activations,
+ * victims-vector) callback with one extensible struct: defenses that
+ * only count activations read three fields, row-aware defenses get
+ * the disturbed device-row span, and per-row vulnerability summaries
+ * are available lazily through the engine back-pointer without the
+ * hot path paying for them.
  */
+struct DisturbanceEvent
+{
+    std::uint64_t bank = 0;
+    std::uint64_t aggressorRow = 0; //!< device row being activated
+    std::uint64_t activations = 0;
+    /**
+     * Device rows that may be disturbed by this pass, inclusive and
+     * clamped to the bank.  The span contains the aggressor row
+     * itself (which is refreshed by its own activations, not
+     * disturbed); a double-sided pass reports the full
+     * [victim-2, victim+2] reach of its aggressor pair.
+     */
+    std::uint64_t victimFirst = 0;
+    std::uint64_t victimLast = 0;
+    /** Issuing engine, or null for synthetic events in tests. */
+    RowHammerEngine *engine = nullptr;
+
+    /**
+     * Vulnerable-cell count of @p device_row (0 without an engine) —
+     * the per-row summary row-aware defenses rank victims by.
+     */
+    std::uint64_t vulnerableCellsIn(std::uint64_t device_row) const;
+};
+
+/** Hook for RowHammer mitigations; one call per aggressor burst. */
 class DisturbanceObserver
 {
   public:
     virtual ~DisturbanceObserver() = default;
 
     /**
-     * Observe a burst of activations on (bank, device row).
+     * Observe one aggressor burst.
      * @return true when the mitigation neutralized the disturbance
      *         (e.g. refreshed the victims) for this pass.
      */
-    virtual bool onHammer(std::uint64_t bank, std::uint64_t device_row,
-                          std::uint64_t activations,
-                          const std::vector<std::uint64_t> &victims) = 0;
+    virtual bool onHammer(const DisturbanceEvent &event) = 0;
 };
 
 /** A cached vulnerable cell within one device row. */
@@ -71,6 +117,35 @@ struct VulnerableBit
     std::uint64_t column; //!< byte offset within the row
     unsigned bit;
     double threshold;     //!< minimum intensity that trips it
+};
+
+/**
+ * Fault masks of one 64-cell word (8 bytes) of a row.  Bit k of each
+ * mask describes the cell backing bit k of a little-endian u64 load
+ * at (row base + word * 8) — i.e. cell (base + word*8 + k/8, k%8).
+ */
+struct MaskWord
+{
+    std::uint32_t word;  //!< 8-byte word index within the row
+    std::uint64_t vuln;  //!< vulnerable cells
+    std::uint64_t dir10; //!< subset of vuln flipping '1'->'0'
+    std::uint64_t trip;  //!< subset of vuln tripping single-sided
+};
+
+/**
+ * Bit-parallel fault profile of one device row: only words containing
+ * at least one vulnerable cell appear, in ascending order.  A pure
+ * function of (module seed, error stats, row base address, cell
+ * type), which is what makes process-wide sharing sound.
+ */
+struct RowVulnProfile
+{
+    Addr base = 0;       //!< logical address of the row's first byte
+    CellType type = CellType::True;
+    bool mapped = false; //!< false: device row vacated by re-mapping
+    std::vector<MaskWord> words;
+    std::uint64_t vulnerableCells = 0;
+    std::uint64_t tripSingleCells = 0;
 };
 
 /** Applies RowHammer disturbance to a DramModule. */
@@ -90,7 +165,7 @@ class RowHammerEngine
     {
         // Sized for a templating sweep over a few hundred rows; the
         // map only rehashes on campaigns far beyond that.
-        vulnCache_.reserve(256);
+        profiles_.reserve(256);
         passesId_ = stats_.registerCounter("passes");
         suppressedPassesId_ = stats_.registerCounter("suppressedPasses");
         flips10Id_ = stats_.registerCounter("flips10");
@@ -101,6 +176,21 @@ class RowHammerEngine
     {
         observer_ = observer;
     }
+
+    /** @name Flip-event recording (opt-in)
+     *
+     * Recording is off by default: campaign loops only consume flip
+     * *counts*, so the per-pass event vector would be pure overhead.
+     * Tests and tools that inspect individual flips turn it on; an
+     * event sink additionally accumulates every flip across passes
+     * (the Drammer templating scan and attack_lab use it).
+     */
+    /** @{ */
+    void setRecordEvents(bool record) { recordEvents_ = record; }
+    bool recordEvents() const { return recordEvents_; }
+    void setEventSink(std::vector<FlipEvent> *sink) { sink_ = sink; }
+    std::vector<FlipEvent> *eventSink() const { return sink_; }
+    /** @} */
 
     /**
      * Hammer logical row @p row of @p bank for one refresh window.
@@ -117,13 +207,23 @@ class RowHammerEngine
                                    std::uint64_t victim_row);
 
     /**
-     * Vulnerable cells of a device row (lazily scanned, cached),
-     * sorted by ascending trip threshold so disturbance passes can
-     * early-exit once the intensity is out of reach.  Exposed so
-     * attacks can reason about templating cost.
+     * Mask profile of a device row (lazily built, cached, shared
+     * between engines over identical modules).  Stable against row
+     * re-mapping: the cached entry revalidates against the current
+     * logical base.
      */
-    const std::vector<VulnerableBit> &
-    vulnerableBits(std::uint64_t bank, std::uint64_t device_row);
+    const RowVulnProfile &rowProfile(std::uint64_t bank,
+                                     std::uint64_t device_row);
+
+    /**
+     * Compatibility view of a row's vulnerable cells, materialized
+     * from the mask profile and sorted by ascending trip threshold
+     * with a (column, bit) tie-break — the order the scalar engine
+     * used.  Cold path only: it re-derives per-cell thresholds, so
+     * callers on hot loops should consume rowProfile() masks instead.
+     */
+    std::vector<VulnerableBit> vulnerableBits(std::uint64_t bank,
+                                              std::uint64_t device_row);
 
     /** Counters: passes, flips10, flips01, suppressedPasses. */
     StatGroup &stats() { return stats_; }
@@ -135,14 +235,34 @@ class RowHammerEngine
 
     DramModule &module_;
     DisturbanceObserver *observer_;
-    std::unordered_map<std::uint64_t, std::vector<VulnerableBit>>
-        vulnCache_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const RowVulnProfile>>
+        profiles_;
+    std::vector<std::uint64_t> scanBuffer_; //!< bulk-scan scratch
+    bool recordEvents_ = false;
+    std::vector<FlipEvent> *sink_ = nullptr;
     StatGroup stats_;
     StatId passesId_;
     StatId suppressedPassesId_;
     StatId flips10Id_;
     StatId flips01Id_;
 };
+
+namespace reference {
+
+/**
+ * Retained scalar reference implementation of the disturbance pass —
+ * the pre-mask cell-at-a-time algorithm, kept verbatim so the
+ * equivalence property tests can check the bit-parallel engine
+ * cell-for-cell against it.  Not used on any hot path.
+ */
+HammerResult hammerRowScalar(DramModule &module, std::uint64_t bank,
+                             std::uint64_t row);
+HammerResult hammerDoubleSidedScalar(DramModule &module,
+                                     std::uint64_t bank,
+                                     std::uint64_t victim_row);
+
+} // namespace reference
 
 } // namespace ctamem::dram
 

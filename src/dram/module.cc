@@ -30,6 +30,15 @@ DramModule::logicalRow(std::uint64_t bank,
     return it == remapByLogical_.end() ? device_row : it->second;
 }
 
+Addr
+DramModule::rowBase(std::uint64_t bank, std::uint64_t device_row) const
+{
+    const std::uint64_t logical = logicalRow(bank, device_row);
+    if (logical == ~0ULL)
+        return ~0ULL;
+    return geometry_.address(Location{bank, logical, 0});
+}
+
 CellType
 DramModule::rowCellType(std::uint64_t bank, std::uint64_t row) const
 {

@@ -103,6 +103,15 @@ class DramModule
     std::uint64_t logicalRow(std::uint64_t bank,
                              std::uint64_t device_row) const;
 
+    /**
+     * Logical address of the first byte whose data device row
+     * (@p bank, @p device_row) holds, or ~0 when the device row was
+     * vacated by re-mapping.  The hammer engine keys fault masks on
+     * this base: the fault model speaks logical addresses, adjacency
+     * speaks device rows.
+     */
+    Addr rowBase(std::uint64_t bank, std::uint64_t device_row) const;
+
     /** Cell type of the device row backing logical (bank, row). */
     CellType rowCellType(std::uint64_t bank, std::uint64_t row) const;
 

@@ -101,6 +101,13 @@ class SparseStore
     /** Number of materialized frames. */
     std::size_t frameCount() const { return frames_.size(); }
 
+    /**
+     * Pre-size the frame table for @p frames entries.  Frame pointers
+     * survive rehashes anyway; this only saves the rehash work itself
+     * on workloads that touch many frames.
+     */
+    void reserve(std::size_t frames) { frames_.reserve(frames); }
+
     /** Frame numbers of all materialized frames (unordered). */
     std::vector<Pfn> touchedFrames() const;
 

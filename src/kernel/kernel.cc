@@ -236,10 +236,8 @@ Kernel::placeVma(Process &proc, std::uint64_t length, VAddr fixed)
     if (fixed != 0) {
         if (fixed & pageMask)
             fatal("mmap: fixed address not page aligned");
-        for (const Vma &vma : proc.vmas) {
-            if (fixed < vma.end() && vma.start < fixed + length)
-                return 0; // overlap
-        }
+        if (proc.overlapsVma(fixed, length))
+            return 0;
         return fixed;
     }
     // Bump allocation at 2 MiB alignment: every mapping starts in its
@@ -266,7 +264,7 @@ Kernel::mmapFile(int pid, int fd, std::uint64_t length,
     const VAddr base = placeVma(proc, length, fixed);
     if (base == 0)
         return 0;
-    proc.vmas.push_back(Vma{base, length, prot, fd, file_offset});
+    proc.addVma(Vma{base, length, prot, fd, file_offset});
     stats_.at(mmapsId_).increment();
     return base;
 }
@@ -296,7 +294,7 @@ Kernel::mmapAnonLarge(int pid, const PageFlags &prot, unsigned level,
         phys_->free(*frame);
         return 0;
     }
-    proc.vmas.push_back(Vma{base, length, prot, -1, 0, level});
+    proc.addVma(Vma{base, length, prot, -1, 0, level});
     proc.anonFrames[base] = *frame;
     stats_.at(mmapsId_).increment();
     stats_.at(largeMmapsId_).increment();
@@ -314,7 +312,7 @@ Kernel::mmapAnon(int pid, std::uint64_t length, const PageFlags &prot,
     const VAddr base = placeVma(proc, length, fixed);
     if (base == 0)
         return 0;
-    proc.vmas.push_back(Vma{base, length, prot, -1, 0});
+    proc.addVma(Vma{base, length, prot, -1, 0});
     stats_.at(mmapsId_).increment();
     return base;
 }
@@ -340,6 +338,7 @@ Kernel::munmap(int pid, VAddr start)
             proc.anonFrames.erase(frame);
         }
     }
+    proc.vmaIntervals.erase(it->start);
     proc.vmas.erase(it);
     stats_.at(munmapsId_).increment();
     return true;

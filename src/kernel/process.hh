@@ -67,15 +67,77 @@ struct Process
     /** Frames this process faulted in: vaddr page -> frame. */
     std::map<VAddr, Pfn> anonFrames;
 
+    /**
+     * start -> end of every VMA, kept in lockstep with @ref vmas.
+     * mmap's overlap test is a two-sided bound lookup here instead of
+     * a scan — page-granular arenas (Drammer maps thousands of
+     * single-page VMAs at fixed addresses) made the scan O(n^2).
+     */
+    std::map<VAddr, VAddr> vmaIntervals;
+
+    /** Last findVma() hit position — purely an accelerator. */
+    std::size_t lastVmaHint = 0;
+
     Counter pageFaults;
+
+    /** Append a VMA, keeping the interval index in sync. */
+    void
+    addVma(const Vma &vma)
+    {
+        vmaIntervals.emplace(vma.start, vma.end());
+        vmas.push_back(vma);
+    }
+
+    /**
+     * True iff any VMA overlaps [@p start, @p start + @p length).
+     * VMAs are disjoint (mmap refuses overlapping fixed placements
+     * and the bump cursor never revisits address space), so only the
+     * interval with the greatest start below the range's end can
+     * reach back into it.
+     */
+    bool
+    overlapsVma(VAddr start, std::uint64_t length) const
+    {
+        auto it = vmaIntervals.lower_bound(start + length);
+        if (it == vmaIntervals.begin())
+            return false;
+        --it;
+        return it->second > start;
+    }
 
     /** VMA containing @p vaddr, or nullptr. */
     Vma *
     findVma(VAddr vaddr)
     {
-        for (Vma &vma : vmas)
-            if (vma.contains(vaddr))
-                return &vma;
+        // Containment test via the interval index: misses (probe
+        // scans over unmapped holes) resolve in O(log n) instead of
+        // walking every VMA.
+        const auto it = vmaIntervals.upper_bound(vaddr);
+        if (it == vmaIntervals.begin())
+            return nullptr;
+        const auto &[start, end] = *std::prev(it);
+        if (vaddr >= end)
+            return nullptr;
+        // Hit: locate the matching Vma.  Starts are unique, so the
+        // hint is only ever an accelerator — fault sweeps over
+        // page-granular arenas revisit creation-adjacent VMAs.
+        const auto matches = [&](std::size_t i) {
+            return i < vmas.size() && vmas[i].start == start;
+        };
+        if (matches(lastVmaHint))
+            return &vmas[lastVmaHint];
+        if (matches(lastVmaHint + 1)) {
+            ++lastVmaHint;
+            return &vmas[lastVmaHint];
+        }
+        // Newest-first fallback: the dominant remaining pattern is
+        // the touch right after an mmap appended its mapping.
+        for (std::size_t i = vmas.size(); i-- > 0;) {
+            if (vmas[i].start == start) {
+                lastVmaHint = i;
+                return &vmas[i];
+            }
+        }
         return nullptr;
     }
 };

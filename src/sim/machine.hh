@@ -51,6 +51,13 @@ struct MachineConfig
     std::uint64_t softTrrThreshold = 500'000; //!< for SoftTRR
     std::uint64_t softTrrTracked = 32;        //!< for SoftTRR
 
+    /**
+     * Record individual FlipEvents in every HammerResult (see
+     * RowHammerEngine::setRecordEvents).  Off by default: campaign
+     * loops only consume flip counts.
+     */
+    bool recordFlipEvents = false;
+
     bool operator==(const MachineConfig &) const = default;
 };
 

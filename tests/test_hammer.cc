@@ -41,6 +41,7 @@ TEST(Hammer, TrueCellVictimsFlipDownOnly)
 {
     DramModule module(hammerConfig());
     RowHammerEngine engine(module);
+    engine.setRecordEvents(true); // this test inspects the flip list
     // The disturbance reaches the victim (row 1) and the outer
     // neighbours of the aggressors (row 3); fill them all with ones.
     for (std::uint64_t row = 0; row <= 3; ++row)
@@ -112,6 +113,7 @@ TEST(Hammer, TemplatingIsReproducible)
     auto run = [] {
         DramModule module(hammerConfig());
         RowHammerEngine engine(module);
+        engine.setRecordEvents(true);
         fillRow(module, 1, 0xff);
         return engine.hammerDoubleSided(0, 1).events;
     };
@@ -133,6 +135,8 @@ TEST(Hammer, DifferentSeedDifferentTemplate)
     DramModule module_b(config_b);
     RowHammerEngine engine_a(module_a);
     RowHammerEngine engine_b(module_b);
+    engine_a.setRecordEvents(true);
+    engine_b.setRecordEvents(true);
     fillRow(module_a, 1, 0xff);
     fillRow(module_b, 1, 0xff);
     const auto a = engine_a.hammerDoubleSided(0, 1).events;
@@ -148,8 +152,7 @@ class SuppressAll : public DisturbanceObserver
 {
   public:
     bool
-    onHammer(std::uint64_t, std::uint64_t, std::uint64_t,
-             const std::vector<std::uint64_t> &) override
+    onHammer(const DisturbanceEvent &) override
     {
         ++calls;
         return true;
@@ -207,6 +210,7 @@ TEST(Hammer, RemappedRowMovesVictims)
     config.cellMap = CellTypeMap::uniform(CellType::True);
     DramModule module(config);
     RowHammerEngine engine(module);
+    engine.setRecordEvents(true);
 
     // Remap logical row 100 to device row 200.
     module.remapRow(0, 100, 200);
