@@ -30,6 +30,9 @@ step "tier-1: ctest"
 step "scenario smoke (every checked-in manifest, 1 cell each)"
 (cd build && ctest --output-on-failure -L scenario-smoke -j "$jobs")
 
+step "svc smoke (ctamemd over the pipe protocol, cached resubmission)"
+(cd build && ctest --output-on-failure -L svc-smoke)
+
 step "bench gate: hot-path microbenchmark vs checked-in baseline"
 # Three runs; the gate takes each metric's best to shed machine noise.
 for i in 1 2 3; do
@@ -38,6 +41,13 @@ for i in 1 2 3; do
 done
 python3 scripts/check_bench.py --baseline BENCH_hotpath.json \
     --current build/BENCH_hotpath.run{1,2,3}.json
+
+step "bench gate: campaign service vs checked-in baseline"
+for i in 1 2 3; do
+    ./build/bench/bench_svc --out "build/BENCH_svc.run$i.json" >/dev/null
+done
+python3 scripts/check_bench.py --suite svc --baseline BENCH_svc.json \
+    --current build/BENCH_svc.run{1,2,3}.json
 
 if [[ "$fast" == 1 ]]; then
     step "done (--fast: sanitizer suites skipped)"

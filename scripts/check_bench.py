@@ -1,17 +1,18 @@
 #!/usr/bin/env python3
-"""Gate the hot-path microbenchmark against the checked-in baseline.
+"""Gate a benchmark report against its checked-in baseline.
 
-Compares a fresh ``bench_hotpath_micro`` report (``--current``) against
-the repository baseline (``--baseline``, normally
-``BENCH_hotpath.json`` at the repo root) and fails when a gated metric
-regresses by more than the tolerance.
+Compares fresh reports (``--current``) against the repository baseline
+(``--baseline``) and fails when a gated metric regresses by more than
+the tolerance.  ``--suite`` picks the gated metric set:
 
-Gated metrics (the ones the mask-engine / VMA-index work optimises and
-which are stable enough on a shared box to gate on):
+  hotpath (default, bench_hotpath_micro vs BENCH_hotpath.json):
+    campaign_sweep   wall seconds, lower is better
+    walk_tlb_off     walks/s,      higher is better
+    walk_tlb_on      translations/s, higher is better
 
-  campaign_sweep   wall seconds, lower is better
-  walk_tlb_off     walks/s,      higher is better
-  walk_tlb_on      translations/s, higher is better
+  svc (bench_svc vs BENCH_svc.json):
+    jobs_per_s_cached  cells/s,  higher is better
+    cache_hit_rate     fraction, higher is better
 
 The DRAM streaming numbers (``dram_read``/``dram_write``) are reported
 for information only — they swing with machine load far beyond any
@@ -28,7 +29,7 @@ never reads as a regression.  A real one clears 10% regardless.
 Usage:
   check_bench.py --baseline BENCH_hotpath.json \
                  --current run1.json run2.json run3.json \
-                 [--tolerance 0.10]
+                 [--tolerance 0.10] [--suite hotpath|svc]
 
 Exit status: 0 when every gated metric is within tolerance, 1 on
 regression or malformed input.
@@ -38,13 +39,30 @@ import argparse
 import json
 import sys
 
-# metric -> direction ("lower" / "higher" is better)
+# suite -> {metric -> direction ("lower" / "higher" is better)}.
+# hotpath gates the mask-engine/VMA-index numbers; svc gates the
+# campaign service's cached-resubmission path (BENCH_svc.json).  The
+# svc cold/snapshot numbers stay informational: they measure full
+# simulations and machine boots, which swing with box load, while the
+# cached path and the hit rate are what the memoization layer
+# guarantees.
 GATED = {
-    "campaign_sweep": "lower",
-    "walk_tlb_off": "higher",
-    "walk_tlb_on": "higher",
+    "hotpath": {
+        "campaign_sweep": "lower",
+        "walk_tlb_off": "higher",
+        "walk_tlb_on": "higher",
+    },
+    "svc": {
+        "jobs_per_s_cached": "higher",
+        "cache_hit_rate": "higher",
+    },
 }
-INFORMATIONAL = ["dram_read", "dram_write"]
+INFORMATIONAL = {
+    "hotpath": ["dram_read", "dram_write"],
+    "svc": ["jobs_per_s_cold", "cached_speedup", "cold_boot",
+            "snapshot_restore", "snapshot_restore_speedup",
+            "cell_latency_p50", "cell_latency_p99"],
+}
 
 
 def load(path):
@@ -70,8 +88,14 @@ def main():
                     help="freshly produced report(s); best-of-N per metric")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed fractional regression (default 0.10)")
+    ap.add_argument("--suite", choices=sorted(GATED),
+                    default="hotpath",
+                    help="which gated metric set to check "
+                         "(default hotpath)")
     args = ap.parse_args()
 
+    gated = GATED[args.suite]
+    informational = INFORMATIONAL[args.suite]
     base = load(args.baseline)
     currents = [(path, load(path)) for path in args.current]
 
@@ -80,9 +104,10 @@ def main():
         return min(vals) if direction == "lower" else max(vals)
 
     failures = []
-    print(f"check_bench: tolerance {args.tolerance:.0%}, "
+    print(f"check_bench: suite {args.suite}, "
+          f"tolerance {args.tolerance:.0%}, "
           f"best of {len(currents)} run(s) vs {args.baseline}")
-    for name, direction in GATED.items():
+    for name, direction in gated.items():
         bval, unit = metric(base, args.baseline, name)
         cval = best(name, direction)
         if direction == "lower":
@@ -96,7 +121,7 @@ def main():
         if verdict == "FAIL":
             failures.append(name)
 
-    for name in INFORMATIONAL:
+    for name in informational:
         if name in base and all(name in rep for _, rep in currents):
             bval, unit = metric(base, args.baseline, name)
             cval = best(name, "higher")
@@ -104,10 +129,12 @@ def main():
                   f"  now {cval:>14.6g}  (not gated)")
 
     if failures:
+        refresh = ("bench_hotpath_micro --out BENCH_hotpath.json"
+                   if args.suite == "hotpath"
+                   else "bench_svc --out BENCH_svc.json")
         print(f"check_bench: REGRESSION in {', '.join(failures)} "
               f"(> {args.tolerance:.0%} worse than baseline). "
-              "If intentional, refresh the baseline with "
-              "bench_hotpath_micro --out BENCH_hotpath.json.")
+              f"If intentional, refresh the baseline with {refresh}.")
         return 1
     print("check_bench: all gated metrics within tolerance")
     return 0

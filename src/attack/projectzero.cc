@@ -21,6 +21,19 @@ outcomeName(Outcome outcome)
     return "?";
 }
 
+std::optional<Outcome>
+parseOutcome(std::string_view name)
+{
+    for (const Outcome outcome :
+         {Outcome::Escalated, Outcome::SelfReference,
+          Outcome::KernelCorrupted, Outcome::NoCorruption,
+          Outcome::Detected, Outcome::Blocked}) {
+        if (name == outcomeName(outcome))
+            return outcome;
+    }
+    return std::nullopt;
+}
+
 AttackResult
 runProjectZero(Kernel &kernel, dram::RowHammerEngine &engine,
                const ProjectZeroConfig &config)

@@ -7,7 +7,9 @@
 #define CTAMEM_ATTACK_RESULT_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/types.hh"
 
@@ -27,6 +29,13 @@ enum class Outcome : std::uint8_t
 
 /** Human-readable outcome name. */
 const char *outcomeName(Outcome outcome);
+
+/**
+ * Inverse of outcomeName ("ESCALATED" -> Outcome::Escalated); nullopt
+ * for unknown names.  The result cache round-trips CellResults
+ * through JSON, so outcomes need a parse direction too.
+ */
+std::optional<Outcome> parseOutcome(std::string_view name);
 
 /** What a simulated attack achieved. */
 struct AttackResult

@@ -15,6 +15,7 @@
 #ifndef CTAMEM_COMMON_RNG_HH
 #define CTAMEM_COMMON_RNG_HH
 
+#include <array>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -73,6 +74,23 @@ stableHash(std::uint64_t seed, std::uint64_t key, Rest... rest)
 {
     return stableHash(splitmix64(seed ^ (key + kStableHashMix)),
                       rest...);
+}
+
+/**
+ * FNV-1a over a byte range: the stable content hash used for
+ * content-addressed cache keys and snapshot-blob checksums, where the
+ * input is a serialized byte string rather than a u64 tuple.
+ */
+inline std::uint64_t
+hashBytes(const void *data, std::size_t size,
+          std::uint64_t hash = 0xcbf29ce484222325ULL)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
 }
 
 /**
@@ -230,6 +248,28 @@ class Rng
         }
         return static_cast<std::uint64_t>(m >> 64);
     }
+
+    /** @name State capture (machine snapshot/restore)
+     *
+     * The four xoshiro256** words, exactly as they stand: setState
+     * of a captured state resumes the stream at the very next draw,
+     * which is what lets a machine snapshot freeze its observer
+     * streams mid-flight.
+     */
+    /** @{ */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    void
+    setState(const std::array<std::uint64_t, 4> &state)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = state[i];
+    }
+    /** @} */
 
   private:
     /** p in (0, 1) as a 64-bit binary fraction. */

@@ -41,6 +41,9 @@ class ParaObserver : public ObserverDefense
         return 2.0 * probability_;
     }
 
+    std::vector<std::uint64_t> rngState() const override;
+    void setRngState(const std::vector<std::uint64_t> &state) override;
+
   private:
     double probability_;
     Rng rng_;
@@ -71,6 +74,9 @@ class RefreshBoostObserver : public ObserverDefense
     {
         return static_cast<double>(factor_);
     }
+
+    std::vector<std::uint64_t> rngState() const override;
+    void setRngState(const std::vector<std::uint64_t> &state) override;
 
   private:
     unsigned factor_;

@@ -26,6 +26,8 @@ registerBuiltinDefenses(Registry &registry)
         [](const DefenseParams &params, KernelConfig &kconfig) {
             kconfig.policy = AllocPolicy::Cta;
             kconfig.cta.ptpBytes = params.ptpBytes;
+            kconfig.cta.multiLevelZones = params.ctaMultiLevelZones;
+            kconfig.cta.screenPageSizeBit = params.ctaScreenPageSize;
         },
         nullptr});
 
@@ -35,6 +37,8 @@ registerBuiltinDefenses(Registry &registry)
         [](const DefenseParams &params, KernelConfig &kconfig) {
             kconfig.policy = AllocPolicy::Cta;
             kconfig.cta.ptpBytes = params.ptpBytes;
+            kconfig.cta.multiLevelZones = params.ctaMultiLevelZones;
+            kconfig.cta.screenPageSizeBit = params.ctaScreenPageSize;
             kconfig.cta.minIndicatorZeros = 2;
         },
         nullptr});

@@ -37,6 +37,8 @@ struct DefenseParams
     std::uint64_t seed = seeds::kMachine; //!< machine seed (streams
                                           //!< are derived per defense)
     std::uint64_t ptpBytes = 4 * MiB;     //!< for the CTA defenses
+    bool ctaMultiLevelZones = false;      //!< per-level PTP zoning
+    bool ctaScreenPageSize = false;       //!< PS-bit frame screening
     unsigned refreshBoostFactor = 4;      //!< for RefreshBoost
     double paraProbability = 0.001;       //!< for PARA
     std::uint64_t anvilThreshold = 1'000'000; //!< for ANVIL

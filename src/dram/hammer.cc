@@ -1,7 +1,9 @@
 #include "dram/hammer.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <list>
 #include <mutex>
 
 #include "common/log.hh"
@@ -59,6 +61,12 @@ buildProfile(const FaultModel &faults, Addr base, CellType type,
  * Sharded mutexes keep campaign worker threads out of each other's
  * way; a racing double-build is harmless (both results are identical)
  * and first-insert-wins.
+ *
+ * Each shard is LRU-bounded: service workloads stream arbitrarily
+ * many distinct module configs through one process, and an unbounded
+ * map would grow with every one of them.  Eviction only drops the
+ * cache's own reference — engines hold shared_ptrs to the profiles
+ * they are using.
  */
 class ProfileCache
 {
@@ -83,19 +91,52 @@ class ProfileCache
         {
             std::lock_guard<std::mutex> lock(shard.mutex);
             auto it = shard.map.find(key);
-            if (it != shard.map.end())
-                return it->second;
+            if (it != shard.map.end()) {
+                ++shard.hits;
+                // Move to the front of the recency list.
+                shard.lru.splice(shard.lru.begin(), shard.lru,
+                                 it->second.lruIt);
+                return it->second.profile;
+            }
+            ++shard.misses;
         }
         auto built = buildProfile(faults, base, type, row_bytes,
                                   scratch);
         std::lock_guard<std::mutex> lock(shard.mutex);
         auto it = shard.map.find(key);
         if (it != shard.map.end())
-            return it->second; // lost the race: share the winner
-        if (shard.map.size() >= kMaxPerShard)
-            return built; // bounded memory: serve uncached
-        shard.map.emplace(key, built);
+            return it->second.profile; // lost the race: share winner
+        shard.lru.push_front(key);
+        shard.map.emplace(key, Entry{built, shard.lru.begin()});
+        shard.evictToCapacity(perShardCapacity_);
         return built;
+    }
+
+    ProfileCacheStats
+    stats()
+    {
+        ProfileCacheStats total;
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            total.hits += shard.hits;
+            total.misses += shard.misses;
+            total.evictions += shard.evictions;
+            total.entries += shard.map.size();
+        }
+        total.capacity = perShardCapacity_ * kShards;
+        return total;
+    }
+
+    void
+    setCapacity(std::size_t max_entries)
+    {
+        const std::size_t per_shard =
+            std::max<std::size_t>(1, max_entries / kShards);
+        perShardCapacity_ = per_shard;
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.evictToCapacity(per_shard);
+        }
     }
 
   private:
@@ -122,21 +163,55 @@ class ProfileCache
         }
     };
 
+    struct Entry
+    {
+        std::shared_ptr<const RowVulnProfile> profile;
+        std::list<Key>::iterator lruIt;
+    };
+
     static constexpr unsigned kShards = 8;
-    static constexpr std::size_t kMaxPerShard = 128;
+    static constexpr std::size_t kDefaultPerShard = 128;
 
     struct Shard
     {
         std::mutex mutex;
-        std::unordered_map<Key, std::shared_ptr<const RowVulnProfile>,
-                           KeyHash>
-            map;
+        std::unordered_map<Key, Entry, KeyHash> map;
+        /** Front = most recently used. */
+        std::list<Key> lru;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+
+        /** Drop LRU entries until at most @p capacity remain.
+         *  Caller holds the shard mutex. */
+        void
+        evictToCapacity(std::size_t capacity)
+        {
+            while (map.size() > capacity) {
+                map.erase(lru.back());
+                lru.pop_back();
+                ++evictions;
+            }
+        }
     };
 
     Shard shards_[kShards];
+    std::atomic<std::size_t> perShardCapacity_{kDefaultPerShard};
 };
 
 } // namespace
+
+ProfileCacheStats
+profileCacheStats()
+{
+    return ProfileCache::instance().stats();
+}
+
+void
+profileCacheSetCapacity(std::size_t max_entries)
+{
+    ProfileCache::instance().setCapacity(max_entries);
+}
 
 std::uint64_t
 DisturbanceEvent::vulnerableCellsIn(std::uint64_t device_row) const

@@ -248,6 +248,38 @@ class RowHammerEngine
     StatId flips01Id_;
 };
 
+/** @name Process-wide row-profile cache controls
+ *
+ * Row profiles are shared between engines through one process-wide
+ * cache (see hammer.cc).  Long-running multi-config services sweep
+ * arbitrarily many distinct modules through one process, so the cache
+ * is LRU-bounded: these hooks set the bound and read the counters the
+ * service exports.
+ */
+/** @{ */
+
+/** Counters and occupancy of the shared row-profile cache. */
+struct ProfileCacheStats
+{
+    std::uint64_t hits = 0;      //!< profile served from the cache
+    std::uint64_t misses = 0;    //!< profile had to be (re)built
+    std::uint64_t evictions = 0; //!< LRU entries dropped at capacity
+    std::size_t entries = 0;     //!< profiles currently cached
+    std::size_t capacity = 0;    //!< current entry cap
+};
+
+ProfileCacheStats profileCacheStats();
+
+/**
+ * Cap the shared profile cache at @p max_entries (spread across its
+ * shards, at least one per shard).  Shrinking evicts LRU entries
+ * immediately.  Engines keep shared_ptr references to profiles they
+ * hold, so eviction never invalidates a live profile.
+ */
+void profileCacheSetCapacity(std::size_t max_entries);
+
+/** @} */
+
 namespace reference {
 
 /**

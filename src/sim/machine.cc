@@ -18,6 +18,8 @@ defenseParams(const MachineConfig &config)
     defense::DefenseParams params;
     params.seed = config.seed;
     params.ptpBytes = config.ptpBytes;
+    params.ctaMultiLevelZones = config.ctaMultiLevelZones;
+    params.ctaScreenPageSize = config.ctaScreenPageSize;
     params.refreshBoostFactor = config.refreshBoostFactor;
     params.paraProbability = config.paraProbability;
     params.anvilThreshold = config.anvilThreshold;
@@ -30,6 +32,20 @@ defenseParams(const MachineConfig &config)
 
 Machine::Machine(const MachineConfig &config) : config_(config)
 {
+    assemble(nullptr);
+}
+
+Machine::Machine(const MachineConfig &config,
+                 const kernel::BootImage &image)
+    : config_(config)
+{
+    assemble(&image);
+}
+
+void
+Machine::assemble(const kernel::BootImage *image)
+{
+    const MachineConfig &config = config_;
     const defense::DefenseSpec *spec =
         defense::Registry::instance().find(config.defense);
     if (!spec) {
@@ -51,7 +67,9 @@ Machine::Machine(const MachineConfig &config) : config_(config)
     if (spec->configureKernel)
         spec->configureKernel(params, kconfig);
 
-    kernel_ = std::make_unique<kernel::Kernel>(kconfig);
+    kernel_ = image
+        ? std::make_unique<kernel::Kernel>(kconfig, *image)
+        : std::make_unique<kernel::Kernel>(kconfig);
 
     // Campaign workloads (spray, Drammer arenas) touch most of the
     // module, so pre-size the frame table up front instead of paying

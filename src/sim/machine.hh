@@ -45,6 +45,10 @@ struct MachineConfig
 
     defense::DefenseKind defense = defense::DefenseKind::None;
     std::uint64_t ptpBytes = 4 * MiB;     //!< for the CTA defenses
+    /** Per-paging-level PTP zoning (Section 7), CTA defenses only. */
+    bool ctaMultiLevelZones = false;
+    /** With multi-level zones: screen PS-bit-vulnerable frames. */
+    bool ctaScreenPageSize = false;
     unsigned refreshBoostFactor = 4;      //!< for RefreshBoost
     double paraProbability = 0.001;       //!< for PARA
     std::uint64_t anvilThreshold = 1'000'000; //!< for ANVIL
@@ -67,6 +71,15 @@ class Machine
   public:
     explicit Machine(const MachineConfig &config);
 
+    /**
+     * Warm start from a boot image captured on an identically
+     * configured machine (see svc/snapshot.*): skips the CTA zone
+     * scans.  The caller is responsible for restoring DRAM contents
+     * and observer RNG state afterwards.
+     */
+    Machine(const MachineConfig &config,
+            const kernel::BootImage &image);
+
     kernel::Kernel &kernel() { return *kernel_; }
     dram::DramModule &dram() { return kernel_->dram(); }
     dram::RowHammerEngine &engine() { return *engine_; }
@@ -86,6 +99,9 @@ class Machine
     attack::AttackResult runAttack(AttackKind kind);
 
   private:
+    /** Shared body of both constructors. */
+    void assemble(const kernel::BootImage *image);
+
     MachineConfig config_;
     std::unique_ptr<kernel::Kernel> kernel_;
     std::unique_ptr<defense::ObserverDefense> observer_;

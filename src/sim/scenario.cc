@@ -78,6 +78,8 @@ toJson(const MachineConfig &config)
         .set("defense",
              std::string(defense::defenseToken(config.defense)))
         .set("ptpBytes", config.ptpBytes)
+        .set("ctaMultiLevelZones", config.ctaMultiLevelZones)
+        .set("ctaScreenPageSize", config.ctaScreenPageSize)
         .set("refreshBoostFactor", config.refreshBoostFactor)
         .set("paraProbability", config.paraProbability)
         .set("anvilThreshold", config.anvilThreshold)
@@ -111,6 +113,10 @@ machineConfigFromJson(const Json &j, const MachineConfig &base)
             config.defense = parseDefense(value);
         else if (key == "ptpBytes")
             config.ptpBytes = value.asU64();
+        else if (key == "ctaMultiLevelZones")
+            config.ctaMultiLevelZones = value.asBool();
+        else if (key == "ctaScreenPageSize")
+            config.ctaScreenPageSize = value.asBool();
         else if (key == "refreshBoostFactor")
             config.refreshBoostFactor = asUnsigned(value);
         else if (key == "paraProbability")
@@ -212,6 +218,47 @@ toJson(const CellResult &result)
     return j;
 }
 
+CellResult
+cellResultFromJson(const Json &j)
+{
+    CellResult result;
+    for (const Json::Member &member : j.members()) {
+        const std::string &key = member.key;
+        const Json &value = member.value;
+        if (isComment(key))
+            continue;
+        else if (key == "cell")
+            result.cell = campaignCellFromJson(value);
+        else if (key == "outcome") {
+            const auto outcome =
+                attack::parseOutcome(value.asString());
+            if (!outcome) {
+                throw JsonError("unknown outcome \"" +
+                                value.asString() + "\"");
+            }
+            result.result.outcome = *outcome;
+        } else if (key == "detail")
+            result.result.detail = value.asString();
+        else if (key == "attackTime")
+            result.result.attackTime = value.asU64();
+        else if (key == "hammerPasses")
+            result.result.hammerPasses = value.asU64();
+        else if (key == "flipsInduced")
+            result.result.flipsInduced = value.asU64();
+        else if (key == "ptesCorrupted")
+            result.result.ptesCorrupted = value.asU64();
+        else if (key == "selfReferences")
+            result.result.selfReferences = value.asU64();
+        else if (key == "anvilTriggered")
+            result.anvilTriggered = value.asBool();
+        else if (key == "wallSeconds")
+            result.wallSeconds = value.asDouble();
+        else
+            unknownKey("CellResult", key);
+    }
+    return result;
+}
+
 Json
 CampaignReport::toJson() const
 {
@@ -245,7 +292,17 @@ campaignFromJson(const Json &manifest)
         const Json &value = member.value;
         if (isComment(key) || key == "base")
             continue;
-        else if (key == "name" || key == "description")
+        else if (key == "schema_version") {
+            // Part of every cache key: a manifest written against a
+            // different schema must fail loudly, not parse loosely.
+            if (value.asU64() != kScenarioSchemaVersion) {
+                throw JsonError(
+                    "manifest schema_version " +
+                    std::to_string(value.asU64()) +
+                    " does not match this build's schema version " +
+                    std::to_string(kScenarioSchemaVersion));
+            }
+        } else if (key == "name" || key == "description")
             (void)value.asString();
         else if (key == "defenses") {
             haveDefenses = true;

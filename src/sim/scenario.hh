@@ -40,6 +40,19 @@
 
 namespace ctamem::sim {
 
+/**
+ * Version of the manifest/config JSON schema.  Checked-in manifests
+ * carry it explicitly ("schema_version"); campaignFromJson hard-errors
+ * on a mismatch, and the campaign service folds it into every result
+ * cache key, so cached rows never outlive the schema that produced
+ * them.
+ *
+ * History: v1 = the PR-4 schema (implicit); v2 adds schema_version
+ * itself plus the ctaMultiLevelZones / ctaScreenPageSize machine
+ * fields (Section 7 zoning, previously unreachable from manifests).
+ */
+inline constexpr std::uint64_t kScenarioSchemaVersion = 2;
+
 /** @name MachineConfig <-> JSON */
 /** @{ */
 json::Json toJson(const MachineConfig &config);
@@ -66,6 +79,13 @@ json::Json toJson(const CampaignCell &cell);
 CampaignCell campaignCellFromJson(const json::Json &j,
                                   const MachineConfig &base = {});
 json::Json toJson(const CellResult &result);
+
+/**
+ * Parse a CellResult back out of toJson's output — the read side of
+ * the content-addressed result cache.  Strict: unknown keys and
+ * unknown outcome names throw json::JsonError.
+ */
+CellResult cellResultFromJson(const json::Json &j);
 /** @} */
 
 /**

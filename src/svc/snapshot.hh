@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Machine snapshot/restore: the warm-start path of the campaign
+ * service.
+ *
+ * A snapshot captures a freshly booted machine — MachineConfig,
+ * kernel boot image (zone specs, ZONE_PTP layout, secret frame),
+ * observer RNG state, and the materialized SparseStore frames — into
+ * a versioned, checksummed binary blob.  Restoring rebuilds an
+ * equivalent machine without re-running the CTA zone scans (the row
+ * walk and PS-bit screening that dominate a CTA boot), and attack
+ * runs on the restored machine are bit-identical to runs on a cold
+ * boot (property-tested).
+ *
+ * Snapshots are only taken post-boot, before any process exists:
+ * the blob deliberately carries no process, VMA or page-table state.
+ */
+
+#ifndef CTAMEM_SVC_SNAPSHOT_HH
+#define CTAMEM_SVC_SNAPSHOT_HH
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace ctamem::svc {
+
+/** Thrown when a blob fails validation (corrupt, truncated, or from
+ *  an unknown format version). */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** In-memory form of a machine snapshot. */
+struct MachineSnapshot
+{
+    /** One materialized SparseStore frame. */
+    struct Frame
+    {
+        Pfn pfn = 0;
+        std::vector<std::uint8_t> bytes; //!< exactly pageSize bytes
+    };
+
+    sim::MachineConfig config;
+    kernel::BootImage image;
+    /** Observer generator words; empty for RNG-free defenses. */
+    std::vector<std::uint64_t> observerRng;
+    /** Materialized frames, ascending pfn. */
+    std::vector<Frame> frames;
+};
+
+/**
+ * Capture @p machine into a snapshot.  Fatal unless the machine is in
+ * its post-boot state (see kernel::Kernel::bootImage).
+ */
+MachineSnapshot captureSnapshot(sim::Machine &machine);
+
+/**
+ * Build a machine from @p snapshot: warm-boot the kernel from the
+ * boot image, then restore DRAM contents and observer RNG state.
+ */
+std::unique_ptr<sim::Machine>
+restoreMachine(const MachineSnapshot &snapshot);
+
+/** @name Blob format
+ *
+ * Little-endian, versioned, with a trailing FNV-1a checksum over
+ * every preceding byte.  deserialize() throws SnapshotError on bad
+ * magic, unknown version, checksum mismatch, truncation, or any
+ * out-of-bounds length field.
+ */
+/** @{ */
+
+/** Current blob format version. */
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+std::vector<std::uint8_t> serialize(const MachineSnapshot &snapshot);
+
+MachineSnapshot deserialize(const std::uint8_t *data,
+                            std::size_t size);
+
+inline MachineSnapshot
+deserialize(const std::vector<std::uint8_t> &blob)
+{
+    return deserialize(blob.data(), blob.size());
+}
+
+/** @} */
+
+} // namespace ctamem::svc
+
+#endif // CTAMEM_SVC_SNAPSHOT_HH

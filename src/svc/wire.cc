@@ -1,0 +1,60 @@
+#include "svc/wire.hh"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace ctamem::svc {
+
+void
+writeFrame(std::ostream &out, const json::Json &message)
+{
+    const std::string payload = message.dump();
+    if (payload.size() > kMaxFrameBytes)
+        throw WireError("frame payload exceeds the frame size limit");
+    const auto size = static_cast<std::uint32_t>(payload.size());
+    std::string frame;
+    frame.reserve(payload.size() + 4);
+    for (int i = 0; i < 4; ++i)
+        frame.push_back(static_cast<char>((size >> (8 * i)) & 0xff));
+    frame += payload;
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    out.flush();
+    if (!out)
+        throw WireError("frame write failed");
+}
+
+std::optional<json::Json>
+readFrame(std::istream &in)
+{
+    char prefix[4];
+    in.read(prefix, sizeof(prefix));
+    if (in.gcount() == 0 && in.eof())
+        return std::nullopt; // clean end-of-stream between frames
+    if (in.gcount() != sizeof(prefix))
+        throw WireError("stream truncated inside a frame prefix");
+
+    std::uint32_t size = 0;
+    for (int i = 0; i < 4; ++i) {
+        size |= std::uint32_t{static_cast<unsigned char>(prefix[i])}
+                << (8 * i);
+    }
+    if (size > kMaxFrameBytes)
+        throw WireError("frame length " + std::to_string(size) +
+                        " exceeds the frame size limit");
+
+    std::string payload(size, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(size));
+    if (in.gcount() != static_cast<std::streamsize>(size))
+        throw WireError("stream truncated inside a frame payload");
+
+    try {
+        return json::Json::parse(payload);
+    } catch (const json::JsonError &err) {
+        throw WireError(std::string("frame payload is not valid "
+                                    "JSON: ") +
+                        err.what());
+    }
+}
+
+} // namespace ctamem::svc

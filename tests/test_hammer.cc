@@ -229,5 +229,58 @@ TEST(Hammer, RemappedRowMovesVictims)
     }
 }
 
+TEST(Hammer, ProfileCacheCountsHitsAndMisses)
+{
+    // Fresh seed so these keys cannot collide with profiles other
+    // tests in this binary already cached.
+    DramConfig config = hammerConfig();
+    config.seed = 0x90f17eULL;
+    DramModule module(config);
+
+    const ProfileCacheStats before = profileCacheStats();
+    RowHammerEngine first(module);
+    for (std::uint64_t row = 0; row < 16; ++row)
+        first.rowProfile(0, row);
+    ProfileCacheStats after = profileCacheStats();
+    EXPECT_EQ(after.misses - before.misses, 16u);
+    EXPECT_EQ(after.hits, before.hits);
+
+    // A second engine over the same module shares every profile.
+    RowHammerEngine second(module);
+    for (std::uint64_t row = 0; row < 16; ++row)
+        second.rowProfile(0, row);
+    after = profileCacheStats();
+    EXPECT_EQ(after.hits - before.hits, 16u);
+    EXPECT_EQ(after.misses - before.misses, 16u);
+}
+
+TEST(Hammer, ProfileCacheShrinkEvictsToCapacity)
+{
+    DramConfig config = hammerConfig();
+    config.seed = 0xca9ac17eULL;
+    DramModule module(config);
+    RowHammerEngine engine(module);
+    for (std::uint64_t row = 0; row < 16; ++row)
+        engine.rowProfile(0, row);
+
+    const ProfileCacheStats before = profileCacheStats();
+    ASSERT_GE(before.entries, 16u);
+
+    profileCacheSetCapacity(8);
+    const ProfileCacheStats shrunk = profileCacheStats();
+    EXPECT_EQ(shrunk.capacity, 8u);
+    EXPECT_LE(shrunk.entries, 8u);
+    EXPECT_GE(shrunk.evictions - before.evictions,
+              before.entries - 8u);
+
+    // Eviction never invalidates a held profile: the engine's
+    // shared_ptr keeps its rows alive, so re-reads still work.
+    EXPECT_EQ(engine.rowProfile(0, 3).base,
+              module.rowBase(0, 3));
+
+    profileCacheSetCapacity(1024); // restore the default bound
+    EXPECT_EQ(profileCacheStats().capacity, 1024u);
+}
+
 } // namespace
 } // namespace ctamem::dram

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -188,6 +189,45 @@ TEST(Scenario, ManifestSchemaViolationsThrow)
                      R"({"defenses": ["cta"],
                          "attacks": ["hammer2000"]})")),
                  JsonError);
+}
+
+TEST(Scenario, SchemaVersionGatesManifests)
+{
+    // The current version parses...
+    Json manifest = Json::parse(
+        R"({"defenses": ["cta"], "attacks": ["drammer"]})");
+    manifest.set("schema_version", kScenarioSchemaVersion);
+    EXPECT_EQ(campaignFromJson(manifest).size(), 1u);
+
+    // ...any other version is a hard error naming the field, never a
+    // best-effort parse of a stale manifest.
+    for (const std::uint64_t bad :
+         {std::uint64_t{0}, kScenarioSchemaVersion - 1,
+          kScenarioSchemaVersion + 1}) {
+        manifest.set("schema_version", bad);
+        try {
+            campaignFromJson(manifest);
+            FAIL() << "schema_version " << bad << " was accepted";
+        } catch (const JsonError &err) {
+            EXPECT_NE(std::string(err.what()).find("schema_version"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(Scenario, CheckedInManifestsCarryTheSchemaVersion)
+{
+    for (const auto &entry : std::filesystem::directory_iterator(
+             repoPath("scenarios"))) {
+        if (entry.path().extension() != ".json")
+            continue;
+        const Json manifest =
+            Json::parseFile(entry.path().string());
+        const Json *version = manifest.find("schema_version");
+        ASSERT_NE(version, nullptr) << entry.path();
+        EXPECT_EQ(version->asU64(), kScenarioSchemaVersion)
+            << entry.path();
+    }
 }
 
 TEST(Scenario, MachineConfigGoldenBytes)
