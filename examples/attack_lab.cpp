@@ -16,15 +16,18 @@
  * and scenario manifests with no changes here.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attack/registry.hh"
 #include "defense/registry.hh"
+#include "fuzz/pattern.hh"
 #include "runtime/thread_pool.hh"
 #include "sim/campaign.hh"
 #include "sim/scenario.hh"
@@ -35,16 +38,39 @@ using namespace ctamem;
 using defense::DefenseKind;
 using sim::AttackKind;
 
+/**
+ * One layer's registry tokens, sorted for stable output (registries
+ * keep registration order, which is link-order dependent).
+ */
+void
+listGroup(const char *heading,
+          std::vector<std::pair<std::string, std::string>> rows)
+{
+    std::sort(rows.begin(), rows.end());
+    std::cout << heading << ":\n";
+    for (const auto &[token, display] : rows)
+        std::cout << "  " << std::left << std::setw(16) << token
+                  << display << '\n';
+}
+
 void
 listOptions()
 {
-    std::cout << "defenses:";
-    for (const auto &spec : defense::Registry::instance().all())
-        std::cout << ' ' << spec->name;
-    std::cout << "\nattacks:";
+    std::vector<std::pair<std::string, std::string>> attacks;
     for (const auto &spec : attack::Registry::instance().all())
-        std::cout << ' ' << spec->name;
-    std::cout << '\n';
+        attacks.emplace_back(spec->name, spec->display);
+    listGroup("attacks", std::move(attacks));
+
+    std::vector<std::pair<std::string, std::string>> defenses;
+    for (const auto &spec : defense::Registry::instance().all())
+        defenses.emplace_back(spec->name, spec->display);
+    listGroup("defenses", std::move(defenses));
+
+    std::vector<std::pair<std::string, std::string>> families;
+    for (const std::string &family : fuzz::patternFamilies())
+        families.emplace_back(family,
+                              "PatternBuilder seed family");
+    listGroup("pattern families", std::move(families));
 }
 
 [[noreturn]] void

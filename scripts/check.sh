@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full local CI: the tier-1 build + test suite, the scenario-manifest
-# smoke label, the hot-path benchmark regression gate, and the
+# smoke label, the benchmark regression gates (hot-path, campaign
+# service, pattern fuzzer), and the
 # sanitizer-instrumented suites behind their ctest labels (tsan for
 # the thread-pool/campaign engine, ubsan for the RNG/bit-twiddling-
 # heavy suites, asan for the mask-engine / sparse-frame suites).
@@ -48,6 +49,13 @@ for i in 1 2 3; do
 done
 python3 scripts/check_bench.py --suite svc --baseline BENCH_svc.json \
     --current build/BENCH_svc.run{1,2,3}.json
+
+step "bench gate: pattern fuzzer vs checked-in baseline"
+for i in 1 2 3; do
+    ./build/bench/bench_fuzz --out "build/BENCH_fuzz.run$i.json" >/dev/null
+done
+python3 scripts/check_bench.py --suite fuzz --baseline BENCH_fuzz.json \
+    --current build/BENCH_fuzz.run{1,2,3}.json
 
 if [[ "$fast" == 1 ]]; then
     step "done (--fast: sanitizer suites skipped)"

@@ -14,6 +14,11 @@ the tolerance.  ``--suite`` picks the gated metric set:
     jobs_per_s_cached  cells/s,  higher is better
     cache_hit_rate     fraction, higher is better
 
+  fuzz (bench_fuzz vs BENCH_fuzz.json):
+    patterns_per_s     patterns/s, higher is better
+    bypass_found       1.0 when the search still finds a TRR-sampler
+                       bypass — deterministic, so any drop is real
+
 The DRAM streaming numbers (``dram_read``/``dram_write``) are reported
 for information only — they swing with machine load far beyond any
 real code-level change.
@@ -29,7 +34,7 @@ never reads as a regression.  A real one clears 10% regardless.
 Usage:
   check_bench.py --baseline BENCH_hotpath.json \
                  --current run1.json run2.json run3.json \
-                 [--tolerance 0.10] [--suite hotpath|svc]
+                 [--tolerance 0.10] [--suite hotpath|svc|fuzz]
 
 Exit status: 0 when every gated metric is within tolerance, 1 on
 regression or malformed input.
@@ -56,12 +61,19 @@ GATED = {
         "jobs_per_s_cached": "higher",
         "cache_hit_rate": "higher",
     },
+    "fuzz": {
+        "patterns_per_s": "higher",
+        "bypass_found": "higher",
+    },
 }
 INFORMATIONAL = {
     "hotpath": ["dram_read", "dram_write"],
     "svc": ["jobs_per_s_cold", "cached_speedup", "cold_boot",
             "snapshot_restore", "snapshot_restore_speedup",
             "cell_latency_p50", "cell_latency_p99"],
+    # Deterministic search outputs: a diff here flags an intentional
+    # algorithm change, not machine noise, so they stay ungated.
+    "fuzz": ["generations_to_first_bypass", "best_flips"],
 }
 
 
@@ -129,9 +141,11 @@ def main():
                   f"  now {cval:>14.6g}  (not gated)")
 
     if failures:
-        refresh = ("bench_hotpath_micro --out BENCH_hotpath.json"
-                   if args.suite == "hotpath"
-                   else "bench_svc --out BENCH_svc.json")
+        refresh = {
+            "hotpath": "bench_hotpath_micro --out BENCH_hotpath.json",
+            "svc": "bench_svc --out BENCH_svc.json",
+            "fuzz": "bench_fuzz --out BENCH_fuzz.json",
+        }[args.suite]
         print(f"check_bench: REGRESSION in {', '.join(failures)} "
               f"(> {args.tolerance:.0%} worse than baseline). "
               f"If intentional, refresh the baseline with {refresh}.")

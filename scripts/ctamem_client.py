@@ -8,7 +8,11 @@ followed by one JSON object (see src/svc/wire.hh).
 Commands:
 
   ping                  liveness round trip
-  stats                 print the service counters as JSON
+  stats                 print the service counters as JSON --
+                        includes the shared row-profile cache
+                        (``profileCache``) and the pattern fuzzer's
+                        progress counters (``fuzz``: runs, patterns
+                        evaluated, generations, bypasses found)
   submit MANIFEST...    submit each manifest, stream per-cell
                         progress to stderr, print each report to
                         stdout

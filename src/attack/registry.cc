@@ -4,6 +4,7 @@
 #include "attack/catt_bypass.hh"
 #include "attack/drammer.hh"
 #include "attack/projectzero.hh"
+#include "attack/sync_hammer.hh"
 #include "common/log.hh"
 
 namespace ctamem::attack {
@@ -16,19 +17,22 @@ registerBuiltinAttacks(Registry &registry)
     registry.add(AttackSpec{
         AttackKind::ProjectZero, "projectzero",
         "PTE spray (ProjectZero)",
-        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine) {
+        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine,
+           const AttackParams &) {
             return runProjectZero(kernel, engine);
         }});
     registry.add(AttackSpec{
         AttackKind::Drammer, "drammer", "Drammer templating",
-        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine) {
+        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine,
+           const AttackParams &) {
             DrammerConfig config;
             config.arenaPages = 1024;
             return runDrammer(kernel, engine, config);
         }});
     registry.add(AttackSpec{
         AttackKind::Algorithm1, "algorithm1", "Algorithm 1 (anti-CTA)",
-        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine) {
+        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine,
+           const AttackParams &) {
             if (!kernel.ptpZone()) {
                 // Algorithm 1 is defined against CTA machines only;
                 // on others report the strictly stronger ProjectZero
@@ -39,14 +43,35 @@ registerBuiltinAttacks(Registry &registry)
         }});
     registry.add(AttackSpec{
         AttackKind::RemapBypass, "remap", "row-remap bypass",
-        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine) {
+        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine,
+           const AttackParams &) {
             return runRemapBypass(kernel, engine);
         }});
     registry.add(AttackSpec{
         AttackKind::DoubleOwnedBypass, "doubleowned",
         "double-owned bypass",
-        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine) {
+        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine,
+           const AttackParams &) {
             return runDoubleOwnedBypass(kernel, engine);
+        }});
+    registry.add(AttackSpec{
+        AttackKind::UniformHammer, "uniform", "uniform hammer",
+        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine,
+           const AttackParams &params) {
+            return runUniformHammer(kernel, engine, params);
+        }});
+    registry.add(AttackSpec{
+        AttackKind::SyncHammer, "sync_hammer", "REF-sync hammer",
+        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine,
+           const AttackParams &params) {
+            return runSyncHammer(kernel, engine, params);
+        }});
+    registry.add(AttackSpec{
+        AttackKind::FuzzHammer, "fuzz_hammer",
+        "fuzzed hammer (Blacksmith-style)",
+        [](kernel::Kernel &kernel, dram::RowHammerEngine &engine,
+           const AttackParams &params) {
+            return runFuzzHammer(kernel, engine, params);
         }});
 }
 

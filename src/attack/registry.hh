@@ -26,6 +26,9 @@
 #include <vector>
 
 #include "attack/result.hh"
+#include "common/rng.hh"
+#include "defense/registry.hh"
+#include "fuzz/fuzzer.hh"
 
 namespace ctamem::dram {
 class RowHammerEngine;
@@ -45,6 +48,9 @@ enum class AttackKind : std::uint8_t
     Algorithm1,        //!< the paper's CTA-tailored brute force
     RemapBypass,       //!< row re-mapping vs address-space isolation
     DoubleOwnedBypass, //!< device buffers inside the kernel zone
+    UniformHammer,     //!< untimed whole-window double-sided passes
+    SyncHammer,        //!< REF-synchronized pair (fixed "sync" family)
+    FuzzHammer,        //!< replay the PatternFuzzer's best pattern
 };
 
 /** Human-readable attack name (the Table-1 row heading). */
@@ -59,6 +65,21 @@ const char *attackToken(AttackKind kind);
  */
 std::optional<AttackKind> parseAttackKind(std::string_view name);
 
+/**
+ * Machine-level context handed to every attack runner.  Most attacks
+ * only need kernel + engine; the timing-aware ones additionally read
+ * the machine seed, which defense they are up against (the fuzzer
+ * builds private observer replicas from the registry factory), and
+ * the fuzz search configuration.
+ */
+struct AttackParams
+{
+    std::uint64_t seed = seeds::kMachine;
+    defense::DefenseKind defense = defense::DefenseKind::None;
+    defense::DefenseParams defenseParams;
+    fuzz::FuzzParams fuzz;
+};
+
 /** One registered attack. */
 struct AttackSpec
 {
@@ -67,7 +88,8 @@ struct AttackSpec
     std::string display; //!< table heading ("Drammer templating")
     /** Run the attack against one built machine. */
     std::function<AttackResult(kernel::Kernel &,
-                               dram::RowHammerEngine &)>
+                               dram::RowHammerEngine &,
+                               const AttackParams &)>
         run;
 };
 

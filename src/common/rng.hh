@@ -42,6 +42,12 @@ inline constexpr std::uint64_t kParaStream = 0x9a4a;
 /** Stream tag for the refresh-boost observer's pass gate. */
 inline constexpr std::uint64_t kRefreshBoostStream = 0xb005;
 
+/** Stream tag for the in-DRAM TRR sampler's reservoir. */
+inline constexpr std::uint64_t kTrrSamplerStream = 0x7225;
+
+/** Stream tag for the pattern fuzzer's evolutionary loop. */
+inline constexpr std::uint64_t kFuzzStream = 0xf022;
+
 } // namespace seeds
 
 /** splitmix64 step: the core mixing function used everywhere below. */

@@ -36,6 +36,7 @@ enum class DefenseKind : std::uint8_t
     Para,         //!< probabilistic adjacent-row activation (observer)
     Anvil,        //!< performance-counter detection (observer)
     SoftTrr,      //!< software target-row refresh (observer)
+    TrrSampler,   //!< in-DRAM TRR activation sampler (observer)
 };
 
 /** Human-readable defense name (the Table-1 column heading). */

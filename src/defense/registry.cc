@@ -3,6 +3,7 @@
 #include "common/log.hh"
 #include "defense/observers.hh"
 #include "defense/softtrr.hh"
+#include "defense/trr_sampler.hh"
 
 namespace ctamem::defense {
 
@@ -93,6 +94,7 @@ Registry::instance()
         // Extension defenses hook in here — each registers itself
         // against the table without touching the sim/kernel layers.
         detail::registerSoftTrrDefense(*r);
+        detail::registerTrrSamplerDefense(*r);
         return r;
     }();
     return *registry;

@@ -44,6 +44,8 @@ struct DefenseParams
     std::uint64_t anvilThreshold = 1'000'000; //!< for ANVIL
     std::uint64_t softTrrThreshold = 500'000; //!< for SoftTRR
     std::uint64_t softTrrTracked = 32;        //!< for SoftTRR
+    unsigned trrSamplers = 4;                 //!< for TrrSampler
+    unsigned trrWindow = 8;                   //!< for TrrSampler
 };
 
 /** One registered defense. */

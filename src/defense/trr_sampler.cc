@@ -1,0 +1,69 @@
+#include "defense/trr_sampler.hh"
+
+#include "defense/registry.hh"
+
+namespace ctamem::defense {
+
+bool
+TrrSamplerObserver::onHammer(const dram::DisturbanceEvent &event)
+{
+    if (!event.timed) {
+        // A whole-window untimed pass is one long run of identical
+        // activations: the reservoir necessarily holds the aggressor
+        // when REF arrives, so the victims are refreshed before any
+        // of the window's charge loss can accumulate.  This is why
+        // uniform hammering fails against in-DRAM TRR.
+        ++mitigations_;
+        return true;
+    }
+
+    if (event.phase >= window_)
+        return false; // sampler is blind past its latch window
+
+    ++eligibleSeen_;
+    if (sampled_.size() < samplers_) {
+        sampled_.push_back(event.aggressorRow);
+    } else {
+        // Reservoir sampling: each eligible burst ends up held with
+        // probability samplers / eligibleSeen.
+        const std::uint64_t j = rng_.below(eligibleSeen_);
+        if (j < samplers_)
+            sampled_[j] = event.aggressorRow;
+    }
+    return false; // sampling never blocks the activation itself
+}
+
+void
+TrrSamplerObserver::onRef(const dram::RefEvent &event,
+                          std::vector<std::uint64_t> &refresh_rows)
+{
+    (void)event;
+    for (const std::uint64_t aggressor : sampled_) {
+        if (aggressor > 0)
+            refresh_rows.push_back(aggressor - 1);
+        refresh_rows.push_back(aggressor + 1);
+        ++mitigations_;
+    }
+    sampled_.clear();
+    eligibleSeen_ = 0;
+}
+
+namespace detail {
+
+void
+registerTrrSamplerDefense(Registry &registry)
+{
+    registry.add(DefenseSpec{
+        DefenseKind::TrrSampler, "trr", "TRR-sampler",
+        /*configureKernel=*/nullptr, // in-DRAM: the kernel boots the
+                                     // vulnerable Standard policy
+        [](const DefenseParams &params) {
+            return std::make_unique<TrrSamplerObserver>(
+                params.trrSamplers, params.trrWindow,
+                deriveSeed(params.seed, seeds::kTrrSamplerStream));
+        }});
+}
+
+} // namespace detail
+
+} // namespace ctamem::defense

@@ -427,6 +427,143 @@ RowHammerEngine::hammerDoubleSided(std::uint64_t bank,
     return result;
 }
 
+void
+RowHammerEngine::activate(std::uint64_t bank, std::uint64_t row,
+                          std::uint64_t activations,
+                          std::uint64_t phase, HammerResult &result)
+{
+    const Geometry &geom = module_.geometry();
+    if (bank >= geom.banks() || row >= geom.rowsPerBank())
+        fatal("activate: row out of range");
+    if (activations == 0)
+        return;
+
+    stats_.at(timedActivationsId_).increment(activations);
+
+    const std::uint64_t aggressor = module_.deviceRow(bank, row);
+    const std::uint64_t rows = geom.rowsPerBank();
+    const bool below = aggressor > 0;
+    const bool above = aggressor + 1 < rows;
+
+    if (observer_) {
+        DisturbanceEvent event;
+        event.bank = bank;
+        event.aggressorRow = aggressor;
+        event.activations = activations;
+        event.victimFirst = below ? aggressor - 1 : aggressor;
+        event.victimLast = above ? aggressor + 1 : aggressor;
+        event.engine = this;
+        event.refInterval = refInterval_;
+        event.phase = phase;
+        event.timed = true;
+        if (observer_->onHammer(event)) {
+            result.suppressed = true;
+            stats_.at(suppressedPassesId_).increment();
+            return;
+        }
+    }
+
+    // A victim's `below` pressure counts activations of the device
+    // row beneath it (i.e. this aggressor when the victim sits above).
+    if (below)
+        pressure_[rowKey(bank, aggressor - 1)].above += activations;
+    if (above)
+        pressure_[rowKey(bank, aggressor + 1)].below += activations;
+}
+
+double
+RowHammerEngine::pressureIntensity(const RowPressure &pressure) const
+{
+    // Paired (double-sided) activations disturb at full intensity,
+    // the one-sided remainder at single-sided intensity; a whole
+    // window of activations reproduces the untimed pass exactly.
+    const std::uint64_t paired =
+        2 * std::min(pressure.below, pressure.above);
+    const std::uint64_t unpaired =
+        pressure.below + pressure.above - paired;
+    const double dose =
+        (doubleSidedIntensity * static_cast<double>(paired) +
+         singleSidedIntensity * static_cast<double>(unpaired)) /
+        static_cast<double>(activationsPerPass);
+    return std::min(doubleSidedIntensity, dose);
+}
+
+void
+RowHammerEngine::evaluatePressure(std::uint64_t key,
+                                  HammerResult &result)
+{
+    auto it = pressure_.find(key);
+    if (it == pressure_.end())
+        return;
+    const double intensity = pressureIntensity(it->second);
+    pressure_.erase(it);
+    if (intensity <= 0.0)
+        return;
+    disturbDeviceRow(key >> 40, key & ((1ULL << 40) - 1), intensity,
+                     result);
+}
+
+void
+RowHammerEngine::refTick(std::uint64_t bank, HammerResult &result)
+{
+    stats_.at(refTicksId_).increment();
+
+    if (observer_) {
+        const RefEvent event{bank, refInterval_, this};
+        trrScratch_.clear();
+        observer_->onRef(event, trrScratch_);
+        for (const std::uint64_t device_row : trrScratch_) {
+            stats_.at(trrRefreshesId_).increment();
+            pressure_.erase(rowKey(bank, device_row));
+        }
+    }
+
+    // This REF refreshes the rows whose slot this interval is; their
+    // accumulated pressure is what charge they lost since their last
+    // refresh.  Keys are sorted so flips land in ascending device-row
+    // order regardless of hash-map iteration order (the event-sink
+    // determinism contract).
+    const std::uint64_t rowMask = (1ULL << 40) - 1;
+    const std::uint64_t slot =
+        refInterval_ % refTiming_.refsPerWindow;
+    evalScratch_.clear();
+    for (const auto &[key, pressure] : pressure_) {
+        if ((key >> 40) == bank &&
+            (key & rowMask) % refTiming_.refsPerWindow == slot) {
+            evalScratch_.push_back(key);
+        }
+    }
+    std::sort(evalScratch_.begin(), evalScratch_.end());
+
+    const std::uint64_t before10 = result.flips10;
+    const std::uint64_t before01 = result.flips01;
+    for (const std::uint64_t key : evalScratch_)
+        evaluatePressure(key, result);
+    stats_.at(flips10Id_).increment(result.flips10 - before10);
+    stats_.at(flips01Id_).increment(result.flips01 - before01);
+
+    ++refInterval_;
+}
+
+void
+RowHammerEngine::drainPressure(std::uint64_t bank,
+                               HammerResult &result)
+{
+    evalScratch_.clear();
+    for (const auto &[key, pressure] : pressure_) {
+        if ((key >> 40) == bank)
+            evalScratch_.push_back(key);
+    }
+    std::sort(evalScratch_.begin(), evalScratch_.end());
+
+    const std::uint64_t before10 = result.flips10;
+    const std::uint64_t before01 = result.flips01;
+    for (const std::uint64_t key : evalScratch_)
+        evaluatePressure(key, result);
+    stats_.at(flips10Id_).increment(result.flips10 - before10);
+    stats_.at(flips01Id_).increment(result.flips01 - before01);
+}
+
 namespace reference {
 
 namespace {

@@ -22,6 +22,23 @@
  * in src/defense/ — the DRAM layer stays independent of defense
  * policy.  One pass is announced as one DisturbanceEvent per
  * aggressor row.
+ *
+ * Two hammer paths share the disturbance math:
+ *
+ *  - the *untimed* path (hammerRow/hammerDoubleSided): one call is a
+ *    whole refresh window of tight activations, applied instantly —
+ *    the right granularity for uniform attacks, where only counts
+ *    matter;
+ *  - the *timed* path (activate/refTick): the caller schedules bursts
+ *    against a simulated refresh clock (RefTiming: tREFI intervals,
+ *    REF commands).  Disturbance accumulates per victim row as
+ *    activation pressure and is only converted into flips when the
+ *    row's own refresh slot comes around; a REF also gives TRR-style
+ *    mitigations their sampling opportunity (DisturbanceObserver::
+ *    onRef), whose targeted refreshes clear pressure early.  This is
+ *    what makes activation *timing and ordering* matter — the
+ *    substrate the Blacksmith-style pattern fuzzer (src/fuzz/)
+ *    searches over.
  */
 
 #ifndef CTAMEM_DRAM_HAMMER_HH
@@ -39,6 +56,24 @@
 namespace ctamem::dram {
 
 class RowHammerEngine;
+
+/**
+ * Geometry of the simulated refresh clock driving the timed hammer
+ * path.  Defaults follow JEDEC shape: a 64 ms retention window split
+ * into 8192 tREFI intervals (~7.8 us each), with room for ~160
+ * activations per interval — so a pattern saturating every interval
+ * issues ~1.3M activations per window, the untimed path's
+ * activationsPerPass.
+ */
+struct RefTiming
+{
+    /** REF commands per retention window (64 ms / tREFI). */
+    std::uint64_t refsPerWindow = 8192;
+    /** Activation budget of one tREFI interval. */
+    std::uint64_t actsPerInterval = 160;
+
+    bool operator==(const RefTiming &) const = default;
+};
 
 /** One bit flip produced by a hammer pass. */
 struct FlipEvent
@@ -90,11 +125,33 @@ struct DisturbanceEvent
     /** Issuing engine, or null for synthetic events in tests. */
     RowHammerEngine *engine = nullptr;
 
+    /** @name Timed-path fields (RowHammerEngine::activate)
+     *
+     * Bursts issued against the refresh clock report which tREFI
+     * interval they landed in and their issue order within it — the
+     * coordinates in-DRAM TRR samplers key their sampling window on.
+     * Untimed whole-window passes leave them zero with timed false.
+     */
+    /** @{ */
+    std::uint64_t refInterval = 0; //!< tREFI index of the burst
+    std::uint64_t phase = 0;       //!< burst position in the interval
+    bool timed = false;            //!< true for REF-clocked bursts
+    /** @} */
+
     /**
      * Vulnerable-cell count of @p device_row (0 without an engine) —
      * the per-row summary row-aware defenses rank victims by.
      */
     std::uint64_t vulnerableCellsIn(std::uint64_t device_row) const;
+};
+
+/** One REF command being retired on the timed hammer path. */
+struct RefEvent
+{
+    std::uint64_t bank = 0;
+    std::uint64_t interval = 0; //!< tREFI index being retired
+    /** Issuing engine, or null for synthetic events in tests. */
+    RowHammerEngine *engine = nullptr;
 };
 
 /** Hook for RowHammer mitigations; one call per aggressor burst. */
@@ -109,6 +166,20 @@ class DisturbanceObserver
      *         (e.g. refreshed the victims) for this pass.
      */
     virtual bool onHammer(const DisturbanceEvent &event) = 0;
+
+    /**
+     * One REF command retired (timed path only).  TRR-capable
+     * mitigations append the device rows they target-refresh with
+     * this REF to @p refresh_rows; the engine clears those rows'
+     * accumulated disturbance pressure.  Default: no targeted
+     * refreshes.
+     */
+    virtual void
+    onRef(const RefEvent &event, std::vector<std::uint64_t> &refresh_rows)
+    {
+        (void)event;
+        (void)refresh_rows;
+    }
 };
 
 /** A cached vulnerable cell within one device row. */
@@ -170,12 +241,20 @@ class RowHammerEngine
         suppressedPassesId_ = stats_.registerCounter("suppressedPasses");
         flips10Id_ = stats_.registerCounter("flips10");
         flips01Id_ = stats_.registerCounter("flips01");
+        timedActivationsId_ =
+            stats_.registerCounter("timedActivations");
+        refTicksId_ = stats_.registerCounter("refTicks");
+        trrRefreshesId_ = stats_.registerCounter("trrRefreshes");
     }
 
     void setObserver(DisturbanceObserver *observer)
     {
         observer_ = observer;
     }
+
+    /** The module this engine disturbs. */
+    DramModule &module() { return module_; }
+    const DramModule &module() const { return module_; }
 
     /** @name Flip-event recording (opt-in)
      *
@@ -206,6 +285,60 @@ class RowHammerEngine
     HammerResult hammerDoubleSided(std::uint64_t bank,
                                    std::uint64_t victim_row);
 
+    /** @name REF-interval timed hammering
+     *
+     * The timed path: activate() issues one aggressor burst inside
+     * the current tREFI interval, refTick() retires one REF command.
+     * Disturbance accumulates per victim row as (below, above)
+     * neighbour-activation pressure; a row converts its pressure into
+     * flips when its own refresh slot arrives (device row r is
+     * refreshed by the REF whose interval index matches
+     * r % refsPerWindow), then starts from full charge again.  A
+     * mitigation's onRef() targeted refreshes clear pressure early.
+     *
+     * Pressure maps onto the untimed intensities: a window of paired
+     * (double-sided) activations reaches doubleSidedIntensity, a
+     * window of one-sided activations reaches singleSidedIntensity —
+     * so a pattern saturating the clock reproduces the untimed
+     * hammer, and anything sparser or interrupted by TRR lands
+     * proportionally lower.
+     */
+    /** @{ */
+    void setRefTiming(const RefTiming &timing) { refTiming_ = timing; }
+    const RefTiming &refTiming() const { return refTiming_; }
+
+    /** tREFI intervals retired so far (the current interval index). */
+    std::uint64_t refInterval() const { return refInterval_; }
+
+    /**
+     * Issue @p activations activations of logical row @p row within
+     * the current tREFI interval, as burst number @p phase of that
+     * interval.  Announces one timed DisturbanceEvent; a suppressing
+     * observer voids the burst's pressure.
+     */
+    void activate(std::uint64_t bank, std::uint64_t row,
+                  std::uint64_t activations, std::uint64_t phase,
+                  HammerResult &result);
+
+    /**
+     * Retire one REF command: give the observer its sampling
+     * opportunity (onRef), clear the pressure of its target-refreshed
+     * rows, then refresh the rows whose slot this interval is —
+     * evaluating their accumulated pressure into flips first.
+     */
+    void refTick(std::uint64_t bank, HammerResult &result);
+
+    /**
+     * Evaluate all outstanding pressure in @p bank as if each row's
+     * refresh slot arrived now (end of a timed run), in ascending
+     * device-row order.
+     */
+    void drainPressure(std::uint64_t bank, HammerResult &result);
+
+    /** Victim rows currently carrying unevaluated pressure. */
+    std::size_t pendingPressureRows() const { return pressure_.size(); }
+    /** @} */
+
     /**
      * Mask profile of a device row (lazily built, cached, shared
      * between engines over identical modules).  Stable against row
@@ -233,6 +366,24 @@ class RowHammerEngine
     void disturbDeviceRow(std::uint64_t bank, std::uint64_t device_row,
                           double intensity, HammerResult &result);
 
+    /**
+     * Neighbour-activation pressure accumulated on one victim row
+     * since its last refresh: activations of the device row below it
+     * and of the device row above it, tracked separately so paired
+     * (double-sided) pressure can be told from one-sided.
+     */
+    struct RowPressure
+    {
+        std::uint64_t below = 0; //!< activations of the row beneath
+        std::uint64_t above = 0; //!< activations of the row on top
+    };
+
+    /** Effective disturbance intensity of accumulated pressure. */
+    double pressureIntensity(const RowPressure &pressure) const;
+
+    /** Convert one victim row's pressure into flips and clear it. */
+    void evaluatePressure(std::uint64_t key, HammerResult &result);
+
     DramModule &module_;
     DisturbanceObserver *observer_;
     std::unordered_map<std::uint64_t,
@@ -241,11 +392,23 @@ class RowHammerEngine
     std::vector<std::uint64_t> scanBuffer_; //!< bulk-scan scratch
     bool recordEvents_ = false;
     std::vector<FlipEvent> *sink_ = nullptr;
+
+    // Timed-path state.
+    RefTiming refTiming_;
+    std::uint64_t refInterval_ = 0;
+    /** Outstanding pressure keyed like the profile map (bank, row). */
+    std::unordered_map<std::uint64_t, RowPressure> pressure_;
+    std::vector<std::uint64_t> trrScratch_;  //!< onRef refresh targets
+    std::vector<std::uint64_t> evalScratch_; //!< keys due this REF
+
     StatGroup stats_;
     StatId passesId_;
     StatId suppressedPassesId_;
     StatId flips10Id_;
     StatId flips01Id_;
+    StatId timedActivationsId_;
+    StatId refTicksId_;
+    StatId trrRefreshesId_;
 };
 
 /** @name Process-wide row-profile cache controls

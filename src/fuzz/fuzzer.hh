@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Evolutionary search for TRR-bypassing hammering patterns.
+ *
+ * PatternFuzzer runs a (mu + lambda)-style loop over
+ * HammeringPatterns: generation 0 seeds from the published pattern
+ * families plus random fill, each candidate is scored by replaying
+ * it on a *private* simulated module (same seed as the target, so
+ * the shared row-profile cache serves every evaluation) against a
+ * freshly built defense observer, and survivors are selected on
+ * flips induced.  All randomness is counter-seeded — child i of
+ * generation g draws from Rng(deriveSeed(seed, g * stride + i)) —
+ * and results merge by population index, so the best pattern is
+ * bit-identical whether evaluations run serially or on any
+ * runtime::ThreadPool width (the campaign determinism contract).
+ *
+ * The layer sits above dram and runtime only: defenses reach the
+ * fuzzer as an opaque observer factory, so defense/ (and attack/,
+ * which replays fuzzer output) can depend on fuzz/ without a cycle.
+ */
+
+#ifndef CTAMEM_FUZZ_FUZZER_HH
+#define CTAMEM_FUZZ_FUZZER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "dram/module.hh"
+#include "fuzz/pattern.hh"
+
+namespace ctamem::runtime {
+class ThreadPool;
+}
+
+namespace ctamem::fuzz {
+
+/** Search configuration (serialized in scenario manifests). */
+struct FuzzParams
+{
+    std::uint64_t population = 16;
+    std::uint64_t generations = 6;
+    std::uint64_t windows = 1; //!< refresh windows per evaluation
+    /** 0 derives the search seed from the target module's seed. */
+    std::uint64_t seed = 0;
+    BuilderParams builder;
+    dram::RefTiming timing;
+
+    bool operator==(const FuzzParams &) const = default;
+};
+
+/** What the fuzzer attacks: a module config + a defense factory. */
+struct FuzzTarget
+{
+    dram::DramConfig dram;
+    std::uint64_t bank = 0;
+    std::uint64_t baseRow = 8; //!< arena start (entry offsets add)
+    /**
+     * Builds one defense observer per evaluation (each candidate
+     * faces a fresh mitigation state).  Null = undefended module.
+     */
+    std::function<std::unique_ptr<dram::DisturbanceObserver>()>
+        makeObserver;
+};
+
+/** Result of one fuzzing run. */
+struct FuzzOutcome
+{
+    HammeringPattern best;
+    std::uint64_t bestFlips = 0;
+    std::uint64_t patternsEvaluated = 0;
+    std::uint64_t generations = 0;
+    /** First generation with any flips; ~0 when never bypassed. */
+    std::uint64_t firstBypassGeneration = ~0ULL;
+};
+
+/** Evolutionary pattern search against one target. */
+class PatternFuzzer
+{
+  public:
+    PatternFuzzer(FuzzTarget target, const FuzzParams &params);
+
+    /**
+     * Run the search; @p pool parallelizes candidate evaluations
+     * (null = serial).  Same target + params give the same outcome
+     * at any pool width.
+     */
+    FuzzOutcome run(runtime::ThreadPool *pool = nullptr);
+
+    /** Score one pattern: flips induced on a fresh target replica. */
+    std::uint64_t evaluate(const HammeringPattern &pattern) const;
+
+    /** The resolved search seed (after the 0 = derive default). */
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    FuzzTarget target_;
+    FuzzParams params_;
+    PatternBuilder builder_;
+    std::uint64_t seed_;
+};
+
+/** @name Process-wide fuzzer progress counters
+ *
+ * Aggregated across every PatternFuzzer in the process, exported
+ * through the ctamemd `stats` response beside the profile-cache
+ * counters — long fuzz campaigns are monitored the same way cell
+ * sweeps are.
+ */
+/** @{ */
+
+struct FuzzStats
+{
+    std::uint64_t runs = 0;              //!< completed run() calls
+    std::uint64_t patternsEvaluated = 0;
+    std::uint64_t generations = 0;
+    std::uint64_t bypassesFound = 0;     //!< runs with bestFlips > 0
+    std::uint64_t bestFlips = 0;         //!< max over all runs
+};
+
+FuzzStats fuzzStats();
+
+/** @} */
+
+} // namespace ctamem::fuzz
+
+#endif // CTAMEM_FUZZ_FUZZER_HH

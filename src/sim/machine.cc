@@ -25,6 +25,8 @@ defenseParams(const MachineConfig &config)
     params.anvilThreshold = config.anvilThreshold;
     params.softTrrThreshold = config.softTrrThreshold;
     params.softTrrTracked = config.softTrrTracked;
+    params.trrSamplers = config.trrSamplers;
+    params.trrWindow = config.trrWindow;
     return params;
 }
 
@@ -105,7 +107,12 @@ Machine::runAttack(AttackKind kind)
         fatal("machine: attack kind ", static_cast<int>(kind),
               " has no registry entry");
     }
-    return spec->run(*kernel_, *engine_);
+    attack::AttackParams params;
+    params.seed = config_.seed;
+    params.defense = config_.defense;
+    params.defenseParams = defenseParams(config_);
+    params.fuzz = config_.fuzz;
+    return spec->run(*kernel_, *engine_, params);
 }
 
 } // namespace ctamem::sim

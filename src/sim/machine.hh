@@ -23,6 +23,7 @@
 #include "cta/config.hh"
 #include "defense/observers.hh"
 #include "dram/hammer.hh"
+#include "fuzz/fuzzer.hh"
 #include "kernel/kernel.hh"
 
 namespace ctamem::sim {
@@ -54,6 +55,14 @@ struct MachineConfig
     std::uint64_t anvilThreshold = 1'000'000; //!< for ANVIL
     std::uint64_t softTrrThreshold = 500'000; //!< for SoftTRR
     std::uint64_t softTrrTracked = 32;        //!< for SoftTRR
+    unsigned trrSamplers = 4;                 //!< for TrrSampler
+    unsigned trrWindow = 8;                   //!< for TrrSampler
+
+    /**
+     * REF-clock + pattern-search configuration consumed by the
+     * timing-aware attacks (uniform / sync_hammer / fuzz_hammer).
+     */
+    fuzz::FuzzParams fuzz;
 
     /**
      * Record individual FlipEvents in every HammerResult (see

@@ -63,6 +63,58 @@ asUnsigned(const Json &j)
     return static_cast<unsigned>(value);
 }
 
+Json
+fuzzToJson(const fuzz::FuzzParams &params)
+{
+    Json j = Json::object();
+    j.set("population", params.population)
+        .set("generations", params.generations)
+        .set("windows", params.windows)
+        .set("seed", params.seed)
+        .set("refsPerWindow", params.timing.refsPerWindow)
+        .set("actsPerInterval", params.timing.actsPerInterval)
+        .set("arenaRows", params.builder.arenaRows)
+        .set("maxEntries", params.builder.maxEntries)
+        .set("maxPeriod", params.builder.maxPeriod)
+        .set("maxSlots", params.builder.maxSlots);
+    return j;
+}
+
+fuzz::FuzzParams
+fuzzFromJson(const Json &j, const fuzz::FuzzParams &base)
+{
+    fuzz::FuzzParams params = base;
+    for (const Json::Member &member : j.members()) {
+        const std::string &key = member.key;
+        const Json &value = member.value;
+        if (isComment(key))
+            continue;
+        else if (key == "population")
+            params.population = value.asU64();
+        else if (key == "generations")
+            params.generations = value.asU64();
+        else if (key == "windows")
+            params.windows = value.asU64();
+        else if (key == "seed")
+            params.seed = value.asU64();
+        else if (key == "refsPerWindow")
+            params.timing.refsPerWindow = value.asU64();
+        else if (key == "actsPerInterval")
+            params.timing.actsPerInterval = value.asU64();
+        else if (key == "arenaRows")
+            params.builder.arenaRows = value.asU64();
+        else if (key == "maxEntries")
+            params.builder.maxEntries = value.asU64();
+        else if (key == "maxPeriod")
+            params.builder.maxPeriod = value.asU64();
+        else if (key == "maxSlots")
+            params.builder.maxSlots = value.asU64();
+        else
+            unknownKey("fuzz", key);
+    }
+    return params;
+}
+
 } // namespace
 
 Json
@@ -84,7 +136,10 @@ toJson(const MachineConfig &config)
         .set("paraProbability", config.paraProbability)
         .set("anvilThreshold", config.anvilThreshold)
         .set("softTrrThreshold", config.softTrrThreshold)
-        .set("softTrrTracked", config.softTrrTracked);
+        .set("softTrrTracked", config.softTrrTracked)
+        .set("trrSamplers", config.trrSamplers)
+        .set("trrWindow", config.trrWindow)
+        .set("fuzz", fuzzToJson(config.fuzz));
     return j;
 }
 
@@ -127,6 +182,12 @@ machineConfigFromJson(const Json &j, const MachineConfig &base)
             config.softTrrThreshold = value.asU64();
         else if (key == "softTrrTracked")
             config.softTrrTracked = value.asU64();
+        else if (key == "trrSamplers")
+            config.trrSamplers = asUnsigned(value);
+        else if (key == "trrWindow")
+            config.trrWindow = asUnsigned(value);
+        else if (key == "fuzz")
+            config.fuzz = fuzzFromJson(value, base.fuzz);
         else
             unknownKey("MachineConfig", key);
     }

@@ -49,9 +49,12 @@ namespace ctamem::sim {
  *
  * History: v1 = the PR-4 schema (implicit); v2 adds schema_version
  * itself plus the ctaMultiLevelZones / ctaScreenPageSize machine
- * fields (Section 7 zoning, previously unreachable from manifests).
+ * fields (Section 7 zoning, previously unreachable from manifests);
+ * v3 adds the TRR-sampler knobs (trrSamplers / trrWindow) and the
+ * nested "fuzz" block (REF timing + pattern-search configuration
+ * consumed by the uniform / sync_hammer / fuzz_hammer attacks).
  */
-inline constexpr std::uint64_t kScenarioSchemaVersion = 2;
+inline constexpr std::uint64_t kScenarioSchemaVersion = 3;
 
 /** @name MachineConfig <-> JSON */
 /** @{ */

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "fuzz/fuzzer.hh"
 #include "sim/scenario.hh"
 #include "svc/snapshot.hh"
 #include "svc/wire.hh"
@@ -189,6 +190,17 @@ CampaignService::statsJson()
         .set("capacity",
              static_cast<std::uint64_t>(profiles.capacity));
 
+    // Fuzz campaigns run for many generations per cell; these
+    // process-wide counters let a client watch search progress the
+    // same way it watches cache behaviour.
+    const fuzz::FuzzStats fuzzers = fuzz::fuzzStats();
+    Json fuzzJson = Json::object();
+    fuzzJson.set("runs", fuzzers.runs)
+        .set("patternsEvaluated", fuzzers.patternsEvaluated)
+        .set("generations", fuzzers.generations)
+        .set("bypassesFound", fuzzers.bypassesFound)
+        .set("bestFlips", fuzzers.bestFlips);
+
     Json j = Json::object();
     j.set("type", std::string("stats"))
         .set("schemaVersion", sim::kScenarioSchemaVersion)
@@ -205,7 +217,8 @@ CampaignService::statsJson()
         .set("snapshotEntries",
              static_cast<std::uint64_t>(snapshotCount))
         .set("resultCache", std::move(resultCache))
-        .set("profileCache", std::move(profileCache));
+        .set("profileCache", std::move(profileCache))
+        .set("fuzz", std::move(fuzzJson));
     return j;
 }
 

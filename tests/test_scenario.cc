@@ -63,7 +63,8 @@ TEST(Registry, DefenseNamesRoundTrip)
 TEST(Registry, AttackNamesRoundTrip)
 {
     const auto &specs = attack::Registry::instance().all();
-    ASSERT_EQ(specs.size(), 5u);
+    // 5 untimed attacks + uniform/sync_hammer/fuzz_hammer.
+    ASSERT_EQ(specs.size(), 8u);
     for (const auto &spec : specs) {
         EXPECT_EQ(attack::parseAttackKind(spec->name), spec->kind)
             << spec->name;
