@@ -28,6 +28,7 @@
 #include "attack/registry.hh"
 #include "defense/registry.hh"
 #include "fuzz/pattern.hh"
+#include "paging/arch.hh"
 #include "runtime/thread_pool.hh"
 #include "sim/campaign.hh"
 #include "sim/scenario.hh"
@@ -71,12 +72,23 @@ listOptions()
         families.emplace_back(family,
                               "PatternBuilder seed family");
     listGroup("pattern families", std::move(families));
+
+    std::vector<std::pair<std::string, std::string>> arches;
+    for (const paging::Arch *arch : paging::kAllArches) {
+        arches.emplace_back(
+            arch->name,
+            std::to_string(arch->levels) + "-level, " +
+                std::to_string(arch->granuleBytes() / KiB) +
+                " KiB granule");
+    }
+    listGroup("arches", std::move(arches));
 }
 
 [[noreturn]] void
 usage()
 {
     std::cerr << "usage: attack_lab [--defense NAME] [--attack NAME]"
+                 " [--arch ISA] [--granule KiB]"
                  " [--mem MiB] [--ptp MiB] [--pf P] [--seed N]"
                  " [--matrix] [--scenario FILE.json]"
                  " [--report OUT.json] [--max-cells N] [--jobs N]"
@@ -88,15 +100,21 @@ usage()
 void
 printCellTable(const sim::CampaignReport &report)
 {
-    std::cout << std::left << std::setw(40) << "cell" << std::setw(18)
-              << "outcome" << std::setw(10) << "passes"
-              << std::setw(10) << "flips" << '\n';
+    std::cout << std::left << std::setw(40) << "cell"
+              << std::setw(13) << "arch" << std::setw(18) << "outcome"
+              << std::setw(10) << "passes" << std::setw(10) << "flips"
+              << '\n';
     for (const sim::CellResult &cell : report.cells) {
+        // Resolve exactly as the machine did, so the row shows the
+        // backend the cell really ran on (not just the manifest key).
+        const paging::Arch &arch = paging::resolveArch(
+            cell.cell.config.arch, cell.cell.config.granule);
         std::string text = attack::outcomeName(cell.result.outcome);
         if (cell.anvilTriggered)
             text += "*";
-        std::cout << std::setw(40) << cell.cell.label << std::setw(18)
-                  << text << std::setw(10) << cell.result.hammerPasses
+        std::cout << std::setw(40) << cell.cell.label << std::setw(13)
+                  << arch.name << std::setw(18) << text
+                  << std::setw(10) << cell.result.hammerPasses
                   << std::setw(10) << cell.result.flipsInduced
                   << '\n';
     }
@@ -233,6 +251,15 @@ main(int argc, char **argv)
             defense_name = next();
         } else if (arg == "--attack") {
             attack_name = next();
+        } else if (arg == "--arch") {
+            const std::string name = next();
+            if (!paging::parseIsa(name, config.arch)) {
+                std::cerr << "attack_lab: unknown arch " << name
+                          << '\n';
+                return 2;
+            }
+        } else if (arg == "--granule") {
+            config.granule = std::stoull(next()) * KiB;
         } else if (arg == "--mem") {
             config.memBytes = std::stoull(next()) * MiB;
         } else if (arg == "--ptp") {
@@ -274,6 +301,8 @@ main(int argc, char **argv)
     std::cout << "machine: " << config.memBytes / MiB << " MiB, Pf="
               << config.pf << ", seed=" << config.seed
               << ", defense=" << defense::defenseName(config.defense)
+              << ", arch="
+              << paging::resolveArch(config.arch, config.granule).name
               << '\n';
     sim::Machine machine(config);
     if (const cta::PtpZone *ptp = machine.kernel().ptpZone()) {

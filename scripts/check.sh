@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local CI: the tier-1 build + test suite, the scenario-manifest
-# smoke label, the benchmark regression gates (hot-path, campaign
-# service, pattern fuzzer), and the
+# smoke label, the AArch64 arch-smoke label, the benchmark regression
+# gates (hot-path, campaign service, pattern fuzzer, Table-1
+# exact-match), and the
 # sanitizer-instrumented suites behind their ctest labels (tsan for
 # the thread-pool/campaign engine, ubsan for the RNG/bit-twiddling-
 # heavy suites, asan for the mask-engine / sparse-frame suites).
@@ -33,6 +34,16 @@ step "scenario smoke (every checked-in manifest, 1 cell each)"
 
 step "svc smoke (ctamemd over the pipe protocol, cached resubmission)"
 (cd build && ctest --output-on-failure -L svc-smoke)
+
+step "arch smoke (AArch64 backend: attack_lab + ctamemd on aarch64-default.json)"
+(cd build && ctest --output-on-failure -L arch-smoke)
+
+step "bench gate: Table-1 matrix bit-identical to checked-in baseline"
+# Deterministic given the seed, so one run and exact equality.
+./build/bench/bench_table1_attack_matrix \
+    --out build/BENCH_table1.run.json >/dev/null
+python3 scripts/check_bench.py --suite table1 \
+    --baseline BENCH_table1.json --current build/BENCH_table1.run.json
 
 step "bench gate: hot-path microbenchmark vs checked-in baseline"
 # Three runs; the gate takes each metric's best to shed machine noise.

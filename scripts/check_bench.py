@@ -19,6 +19,13 @@ the tolerance.  ``--suite`` picks the gated metric set:
     bypass_found       1.0 when the search still finds a TRR-sampler
                        bypass — deterministic, so any drop is real
 
+  table1 (bench_table1_attack_matrix vs BENCH_table1.json):
+    every "<attack>__<defense>" cell, compared for EXACT equality
+    (outcome name, flips, hammer passes) — the sweep is deterministic
+    given the seed, so the only thing allowed to change between runs
+    is wall-clock.  Any cell diff flags a real behavior change; if
+    intentional, refresh the baseline.
+
 The DRAM streaming numbers (``dram_read``/``dram_write``) are reported
 for information only — they swing with machine load far beyond any
 real code-level change.
@@ -92,6 +99,46 @@ def metric(report, path, name):
     return float(entry["value"]), entry.get("unit", "")
 
 
+def check_table1(base, baseline_path, currents):
+    """Exact-match gate: every cell of every current report must equal
+    the baseline cell bit-for-bit (value = flips, unit = outcome,
+    iterations = hammer passes).  No tolerance, no best-of-N — the
+    sweep is deterministic, so any diff is a real behavior change."""
+    failures = []
+    print(f"check_bench: suite table1, exact match, "
+          f"{len(currents)} run(s) vs {baseline_path}")
+    for path, rep in currents:
+        missing = sorted(set(base) - set(rep))
+        extra = sorted(set(rep) - set(base))
+        for name in missing:
+            failures.append(name)
+            print(f"  FAIL {name}: missing from {path}")
+        for name in extra:
+            failures.append(name)
+            print(f"  FAIL {name}: not in baseline (new cell? "
+                  f"refresh the baseline)")
+        for name in sorted(set(base) & set(rep)):
+            bent, cent = base[name], rep[name]
+            same = all(bent.get(k) == cent.get(k)
+                       for k in ("value", "unit", "iterations"))
+            if same:
+                continue
+            failures.append(name)
+            print(f"  FAIL {name}: baseline "
+                  f"{bent.get('unit')} flips={bent.get('value')} "
+                  f"passes={bent.get('iterations')}  now "
+                  f"{cent.get('unit')} flips={cent.get('value')} "
+                  f"passes={cent.get('iterations')}")
+    if failures:
+        print("check_bench: Table-1 cells drifted from the baseline. "
+              "If intentional, refresh with "
+              "bench_table1_attack_matrix --out BENCH_table1.json.")
+        return 1
+    print(f"check_bench: all {len(base)} Table-1 cells bit-identical "
+          f"to baseline")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -100,11 +147,17 @@ def main():
                     help="freshly produced report(s); best-of-N per metric")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed fractional regression (default 0.10)")
-    ap.add_argument("--suite", choices=sorted(GATED),
+    ap.add_argument("--suite",
+                    choices=sorted(GATED) + ["table1"],
                     default="hotpath",
                     help="which gated metric set to check "
                          "(default hotpath)")
     args = ap.parse_args()
+
+    if args.suite == "table1":
+        return check_table1(load(args.baseline), args.baseline,
+                            [(path, load(path))
+                             for path in args.current])
 
     gated = GATED[args.suite]
     informational = INFORMATIONAL[args.suite]

@@ -6,12 +6,11 @@
 #include "common/bitops.hh"
 #include "common/log.hh"
 #include "cta/theorem.hh"
-#include "paging/pte.hh"
+#include "paging/arch.hh"
 
 namespace ctamem::attack {
 
 using kernel::Kernel;
-using paging::Pte;
 
 AttackResult
 runAlgorithm1(Kernel &kernel, dram::RowHammerEngine &engine,
@@ -38,15 +37,16 @@ runAlgorithm1(Kernel &kernel, dram::RowHammerEngine &engine,
     }
 
     // Snapshot every present leaf PTE in ZONE_PTP.
+    const paging::Arch &arch = kernel.arch();
     std::map<Addr, std::uint64_t> before;
     for (const auto &[pfn, level] : kernel.pageTableFrames()) {
         if (level != 1 || !ptp->contains(pfn))
             continue;
-        for (std::uint64_t slot = 0; slot < paging::ptesPerPage;
+        for (std::uint64_t slot = 0; slot < arch.entriesPerTable();
              ++slot) {
             const Addr addr = pfnToAddr(pfn) + slot * 8;
             const std::uint64_t raw = kernel.dram().readU64(addr);
-            if (Pte(raw).present())
+            if (arch.present(raw))
                 before.emplace(addr, raw);
         }
     }
@@ -105,13 +105,12 @@ runAlgorithm1(Kernel &kernel, dram::RowHammerEngine &engine,
         ++local.ptesCorrupted;
         result.flipsInduced +=
             hammingDistance(new_raw, old_raw);
-        const Pte old_pte(old_raw);
-        const Pte new_pte(new_raw);
-        if (new_pte.pfn() < old_pte.pfn())
+        if (arch.pfn(new_raw) < arch.pfn(old_raw))
             ++local.pointersMovedDown;
-        else if (new_pte.pfn() > old_pte.pfn())
+        else if (arch.pfn(new_raw) > arch.pfn(old_raw))
             ++local.pointersMovedUp;
-        if (new_pte.present() && pfnToAddr(new_pte.pfn()) >= lwm)
+        if (arch.present(new_raw) &&
+            pfnToAddr(arch.pfn(new_raw)) >= lwm)
             ++local.selfReferences;
     }
     result.ptesCorrupted = local.ptesCorrupted;

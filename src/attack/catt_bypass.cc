@@ -5,12 +5,11 @@
 
 #include "attack/exploit.hh"
 #include "common/log.hh"
-#include "paging/pte.hh"
+#include "paging/arch.hh"
 
 namespace ctamem::attack {
 
 using kernel::Kernel;
-using paging::Pte;
 
 namespace {
 
@@ -20,13 +19,14 @@ constexpr paging::PageFlags rwFlags{true, false, false};
 std::map<Addr, std::uint64_t>
 snapshotTables(Kernel &kernel)
 {
+    const paging::Arch &arch = kernel.arch();
     std::map<Addr, std::uint64_t> snapshot;
     for (const auto &[pfn, level] : kernel.pageTableFrames()) {
-        for (std::uint64_t slot = 0; slot < paging::ptesPerPage;
+        for (std::uint64_t slot = 0; slot < arch.entriesPerTable();
              ++slot) {
             const Addr addr = pfnToAddr(pfn) + slot * 8;
             const std::uint64_t raw = kernel.dram().readU64(addr);
-            if (Pte(raw).present())
+            if (arch.present(raw))
                 snapshot.emplace(addr, raw);
         }
     }
@@ -70,7 +70,8 @@ runRemapBypass(Kernel &kernel, dram::RowHammerEngine &engine,
 
     // Attacker-owned aggressor arena (user partition).
     const VAddr arena = kernel.mmapAnon(pid, 4 * MiB, rwFlags);
-    for (VAddr va = arena; va < arena + 4 * MiB; va += pageSize)
+    for (VAddr va = arena; va < arena + 4 * MiB;
+         va += kernel.pageBytes())
         kernel.touchUser(pid, va);
 
     // "Manufacturer" re-mapping: swap attacker rows device-adjacent
@@ -195,9 +196,9 @@ runDoubleOwnedBypass(Kernel &kernel, dram::RowHammerEngine &engine,
             break;
         mappings.push_back(base);
 
-        const int vbuf = kernel.createDeviceBuffer(pageSize);
+        const int vbuf = kernel.createDeviceBuffer(kernel.pageBytes());
         const VAddr window =
-            kernel.mmapFile(pid, vbuf, pageSize, rwFlags);
+            kernel.mmapFile(pid, vbuf, kernel.pageBytes(), rwFlags);
         if (window == 0 || !kernel.touchUser(pid, window))
             break;
         vbuf_windows.push_back(window);
@@ -226,7 +227,8 @@ runDoubleOwnedBypass(Kernel &kernel, dram::RowHammerEngine &engine,
     // pointers live amid the page tables.
     std::vector<VAddr> scan = vbuf_windows;
     scan.insert(scan.end(), mappings.begin(), mappings.end());
-    auto self_ref = detectSelfReference(kernel, pid, scan, pageSize);
+    auto self_ref =
+        detectSelfReference(kernel, pid, scan, kernel.pageBytes());
     if (self_ref) {
         ++result.selfReferences;
         result.outcome = Outcome::SelfReference;

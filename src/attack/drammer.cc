@@ -8,7 +8,7 @@
 
 #include "attack/exploit.hh"
 #include "common/log.hh"
-#include "paging/pte.hh"
+#include "paging/arch.hh"
 
 namespace ctamem::attack {
 
@@ -32,13 +32,16 @@ templateMemory(Kernel &kernel, dram::RowHammerEngine &engine,
     AttackerContext ctx(kernel, engine, pid);
 
     // Page-granular arena: each page is its own VMA so single frames
-    // can be released during the massaging phase.
+    // can be released during the massaging phase.  Large granules can
+    // run the machine out of memory mid-arena; whatever was mapped by
+    // then is arena enough.
+    const std::uint64_t page_bytes = kernel.pageBytes();
     for (std::uint64_t i = 0; i < config.arenaPages; ++i) {
-        const VAddr va = arenaBase + i * pageSize;
-        if (kernel.mmapAnon(pid, pageSize, rwFlags, va) == 0)
-            fatal("drammer: arena mmap failed");
+        const VAddr va = arenaBase + i * page_bytes;
+        if (kernel.mmapAnon(pid, page_bytes, rwFlags, va) == 0)
+            break;
         if (!kernel.touchUser(pid, va))
-            fatal("drammer: arena touch failed");
+            break;
     }
 
     TemplateReport report;
@@ -53,10 +56,11 @@ templateMemory(Kernel &kernel, dram::RowHammerEngine &engine,
         std::vector<Addr> filled(config.arenaPages, noFrame);
         for (std::uint64_t i = 0; i < config.arenaPages; ++i) {
             const kernel::UserAccess access = kernel.writeUser(
-                pid, arenaBase + i * pageSize, pattern);
+                pid, arenaBase + i * page_bytes, pattern);
             if (!access)
                 continue;
-            for (std::uint64_t slot = 1; slot < pageSize / 8; ++slot)
+            for (std::uint64_t slot = 1; slot < page_bytes / 8;
+                 ++slot)
                 kernel.dram().writeU64(access.phys + slot * 8,
                                        pattern);
             filled[i] = access.phys;
@@ -87,9 +91,9 @@ templateMemory(Kernel &kernel, dram::RowHammerEngine &engine,
             Addr, std::vector<std::pair<std::uint64_t, unsigned>>>
             flips_in;
         for (const dram::FlipEvent &event : phase_events) {
-            const Addr frame = event.addr & ~(pageSize - 1);
+            const Addr frame = event.addr & ~(page_bytes - 1);
             flips_in[frame].emplace_back(
-                (event.addr & (pageSize - 1)) / 8,
+                (event.addr & (page_bytes - 1)) / 8,
                 static_cast<unsigned>(event.addr % 8) * 8 +
                     event.bit);
         }
@@ -97,7 +101,7 @@ templateMemory(Kernel &kernel, dram::RowHammerEngine &engine,
             std::sort(flips.begin(), flips.end());
 
         for (std::uint64_t i = 0; i < config.arenaPages; ++i) {
-            const VAddr page = arenaBase + i * pageSize;
+            const VAddr page = arenaBase + i * page_bytes;
             const kernel::UserAccess head = kernel.readUser(pid, page);
             if (!head)
                 continue;
@@ -116,7 +120,7 @@ templateMemory(Kernel &kernel, dram::RowHammerEngine &engine,
             // patterned (fill faulted, or a flipped PTE re-pointed
             // the translation): fall back to the full content diff
             // of the scalar scan.
-            for (std::uint64_t slot = 0; slot < pageSize / 8;
+            for (std::uint64_t slot = 0; slot < page_bytes / 8;
                  ++slot) {
                 const kernel::UserAccess access =
                     kernel.readUser(pid, page + slot * 8);
@@ -149,9 +153,11 @@ runDrammer(Kernel &kernel, dram::RowHammerEngine &engine,
     result.hammerPasses = report.hammeredRows;
 
     // Current frame -> arena vaddr for pages still mapped.
+    const paging::Arch &arch = kernel.arch();
+    const std::uint64_t page_bytes = kernel.pageBytes();
     std::map<Pfn, VAddr> frame_of;
     for (std::uint64_t i = 0; i < config.arenaPages; ++i) {
-        const VAddr va = arenaBase + i * pageSize;
+        const VAddr va = arenaBase + i * page_bytes;
         const kernel::UserAccess access = kernel.readUser(pid, va);
         if (access)
             frame_of[addrToPfn(access.phys)] = va;
@@ -163,14 +169,17 @@ runDrammer(Kernel &kernel, dram::RowHammerEngine &engine,
             break;
         // Only flips inside the PTE frame-pointer field with a small
         // frame delta are usable for the self-map construction.
-        if (tmpl.bit < paging::Pte::pfnLo || tmpl.bit > 30)
+        if (tmpl.bit < arch.pointerLo || tmpl.bit > 30)
             continue;
-        const unsigned j = tmpl.bit - paging::Pte::pfnLo;
-        const Pfn delta = 1ULL << j;
+        // Pointer-field bit j selects granule number bit j; in the
+        // global 4 KiB frame unit that is a run of granuleFrames().
+        const unsigned j = tmpl.bit - arch.pointerLo;
+        const Pfn delta = arch.granuleFrames() << j;
         const Pfn table_frame = tmpl.frame;
         // Data frame the templated PTE must point at so that the
         // flip redirects it onto the table itself.
-        const bool table_bit_set = (table_frame >> j) & 1;
+        const bool table_bit_set =
+            (table_frame >> (j + arch.tableOrder())) & 1;
         if (tmpl.downward == table_bit_set)
             continue; // carry would break the single-bit arithmetic
         const Pfn data_frame = tmpl.downward ? table_frame + delta :
@@ -185,27 +194,30 @@ runDrammer(Kernel &kernel, dram::RowHammerEngine &engine,
         ++tried;
 
         // --- Phys Feng Shui ---
-        const int fd = kernel.createFile(2 * MiB);
+        // One leaf table's worth of file span, so the templated slot
+        // falls inside the mapping whatever the granule.
+        const std::uint64_t span = arch.levelCoverage(2);
+        const int fd = kernel.createFile(span);
         const std::uint64_t warm_slot = tmpl.slot == 0 ? 1 : 0;
         const VAddr scratch =
-            kernel.mmapFile(pid, fd, 2 * MiB, rwFlags);
+            kernel.mmapFile(pid, fd, span, rwFlags);
         // Pre-warm one file page so the next fault allocates only a
         // page-table frame.
-        kernel.touchUser(pid, scratch + warm_slot * pageSize);
+        kernel.touchUser(pid, scratch + warm_slot * page_bytes);
 
         // Free the templated frame; the kernel's next table
         // allocation grabs it (lowest-address-first buddy)...
         kernel.munmap(pid, table_page->second);
         frame_of.erase(table_page);
         const VAddr target =
-            kernel.mmapFile(pid, fd, 2 * MiB, rwFlags);
-        kernel.touchUser(pid, target + warm_slot * pageSize);
+            kernel.mmapFile(pid, fd, span, rwFlags);
+        kernel.touchUser(pid, target + warm_slot * page_bytes);
 
         // ...then free the partner frame for the data page of the
         // templated slot.
         kernel.munmap(pid, data_page->second);
         frame_of.erase(data_page);
-        kernel.touchUser(pid, target + tmpl.slot * pageSize);
+        kernel.touchUser(pid, target + tmpl.slot * page_bytes);
 
         // --- Re-hammer the templated row: the flip is reproducible.
         const dram::Location loc =
@@ -217,12 +229,12 @@ runDrammer(Kernel &kernel, dram::RowHammerEngine &engine,
 
         const std::vector<VAddr> window{target};
         auto self_ref =
-            detectSelfReference(kernel, pid, window, 2 * MiB);
+            detectSelfReference(kernel, pid, window, span);
         if (self_ref) {
             ++result.selfReferences;
             result.outcome = Outcome::SelfReference;
             result.detail = "deterministic self-reference";
-            if (escalate(kernel, pid, *self_ref, window, 2 * MiB)) {
+            if (escalate(kernel, pid, *self_ref, window, span)) {
                 result.outcome = Outcome::Escalated;
                 result.detail = "deterministic escalation via "
                                 "templated flip";

@@ -4,12 +4,11 @@
 
 #include "attack/exploit.hh"
 #include "common/log.hh"
-#include "paging/pte.hh"
+#include "paging/arch.hh"
 
 namespace ctamem::attack {
 
 using kernel::Kernel;
-using paging::Pte;
 
 AttackResult
 runPageSizeAttack(Kernel &kernel, dram::RowHammerEngine &engine,
@@ -33,8 +32,11 @@ runPageSizeAttack(Kernel &kernel, dram::RowHammerEngine &engine,
             break;
     }
 
-    // Large pages whose first 4 KiB holds crafted PTEs sweeping the
-    // top-of-memory region where ZONE_PTP architecturally lives.
+    // Large pages whose first table-granule holds crafted PTEs
+    // sweeping the top-of-memory region where ZONE_PTP
+    // architecturally lives.
+    const paging::Arch &arch = kernel.arch();
+    const std::uint64_t block_bytes = arch.levelCoverage(2);
     const std::uint64_t capacity = kernel.dram().geometry().capacity();
     const Pfn sweep_base =
         addrToPfn(capacity - 2 * ptp->trueBytes() -
@@ -42,28 +44,28 @@ runPageSizeAttack(Kernel &kernel, dram::RowHammerEngine &engine,
     const Pfn sweep_frames = addrToPfn(capacity) - sweep_base;
     // Place the large pages in a distant VA region: their page
     // directory is then allocated *after* the spray, several DRAM
-    // rows away from the attacker's own PML4/PDPT — hammering the PD
-    // row does not saw off the branch the attacker sits on.
+    // rows away from the attacker's own upper tables — hammering the
+    // PD row does not saw off the branch the attacker sits on.
     constexpr VAddr largeRegion = 0x0000'0020'0000'0000ULL;
     std::vector<VAddr> large_bases;
     for (unsigned m = 0; m < config.largeMappings; ++m) {
         const VAddr base = kernel.mmapAnonLarge(
-            pid, rw, 2, largeRegion + m * 2 * MiB);
+            pid, rw, 2, largeRegion + m * block_bytes);
         if (base == 0)
             break;
         large_bases.push_back(base);
-        // Stride the sweep so every mapping's 512 slots span the
-        // whole top region: whichever PD entry flips, its window
-        // contains page-table frames.
+        // Stride the sweep so every mapping's slots span the whole
+        // top region: whichever PD entry flips, its window contains
+        // page-table frames.
         const Pfn stride = std::max<Pfn>(
-            1, sweep_frames / paging::ptesPerPage);
-        for (std::uint64_t slot = 0; slot < paging::ptesPerPage;
+            1, sweep_frames / arch.entriesPerTable());
+        for (std::uint64_t slot = 0; slot < arch.entriesPerTable();
              ++slot) {
             const Pfn target =
                 sweep_base + (slot * stride + m) % sweep_frames;
-            const Pte crafted =
-                Pte::make(target, paging::PageFlags{true, true});
-            kernel.writeUser(pid, base + slot * 8, crafted.raw());
+            const std::uint64_t crafted = arch.makeLeaf(
+                target, paging::PageFlags{true, true}, 1);
+            kernel.writeUser(pid, base + slot * 8, crafted);
         }
     }
     ctx.charge(config.cost.sprayFill);
@@ -105,16 +107,17 @@ runPageSizeAttack(Kernel &kernel, dram::RowHammerEngine &engine,
         // region now reads page-table (or other ZONE_PTP) content.
         ctx.flushTlb();
         self_ref = detectSelfReference(kernel, pid, large_bases,
-                                       2 * MiB);
+                                       block_bytes);
         ctx.charge(config.cost.checkPerPte * large_bases.size() *
-                   paging::ptesPerPage);
+                   arch.entriesPerTable());
     }
     if (self_ref) {
         ++result.selfReferences;
         result.outcome = Outcome::SelfReference;
         result.detail = "PS-bit flip exposed ZONE_PTP through a "
                         "crafted large page";
-        if (escalate(kernel, pid, *self_ref, large_bases, 2 * MiB)) {
+        if (escalate(kernel, pid, *self_ref, large_bases,
+                     block_bytes)) {
             result.outcome = Outcome::Escalated;
             result.detail = "kernel secret read via hijacked PS bit";
         }

@@ -42,8 +42,10 @@ AttackerContext::ownedRows()
     // the defenses' RNG streams, must not depend on hashing.
     std::unordered_map<std::uint64_t, std::vector<VAddr>> groups;
     Process &proc = kernel_.process(pid_);
+    const std::uint64_t page_bytes = kernel_.pageBytes();
     for (const kernel::Vma &vma : proc.vmas) {
-        for (VAddr va = vma.start; va < vma.end(); va += pageSize) {
+        for (VAddr va = vma.start; va < vma.end();
+             va += page_bytes) {
             const paging::WalkResult walk =
                 kernel_.mmu().walker().walk(
                     proc.rootPfn, va, paging::AccessType::Read,

@@ -58,10 +58,12 @@ runProjectZero(Kernel &kernel, dram::RowHammerEngine &engine,
         // page-table frames.
         if (config.anonPagesPerMapping > 0) {
             const VAddr anon = kernel.mmapAnon(
-                pid, config.anonPagesPerMapping * pageSize, rw);
+                pid, config.anonPagesPerMapping * kernel.pageBytes(),
+                rw);
             for (unsigned page = 0; page < config.anonPagesPerMapping;
                  ++page) {
-                kernel.touchUser(pid, anon + page * pageSize);
+                kernel.touchUser(pid,
+                                 anon + page * kernel.pageBytes());
             }
         }
     }
@@ -76,7 +78,7 @@ runProjectZero(Kernel &kernel, dram::RowHammerEngine &engine,
     const auto sandwiches = ctx.findSandwiches();
     const std::uint64_t check_cost =
         config.cost.checkPerPte * mappings.size() *
-        (config.bytesPerMapping / pageSize);
+        (config.bytesPerMapping / kernel.pageBytes());
     bool suppressed_everything = true;
 
     for (unsigned pass = 0; pass < config.maxPasses; ++pass) {

@@ -31,10 +31,12 @@ sprayArena(AttackerContext &ctx, const TimedHammerConfig &config)
         mappings.push_back(base);
         if (config.anonPagesPerMapping > 0) {
             const VAddr anon = kernel.mmapAnon(
-                ctx.pid(), config.anonPagesPerMapping * pageSize, rw);
+                ctx.pid(),
+                config.anonPagesPerMapping * kernel.pageBytes(), rw);
             for (unsigned page = 0;
                  page < config.anonPagesPerMapping; ++page) {
-                kernel.touchUser(ctx.pid(), anon + page * pageSize);
+                kernel.touchUser(ctx.pid(),
+                                 anon + page * kernel.pageBytes());
             }
         }
     }
@@ -132,7 +134,7 @@ replayPattern(Kernel &kernel, dram::RowHammerEngine &engine,
     result.flipsInduced = replay.total();
     ctx.charge(config.cost.hammerPerRow * run.windows);
     ctx.charge(config.cost.checkPerPte * mappings.size() *
-               (config.bytesPerMapping / pageSize));
+               (config.bytesPerMapping / kernel.pageBytes()));
     result.detail = std::move(detail);
 
     conclude(kernel, pid, mappings, config, replay.suppressed,

@@ -9,12 +9,22 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "paging/arch.hh"
 
 namespace ctamem::cta {
 
 /** Tunables of the CTA defense (Sections 4-7 of the paper). */
 struct CtaConfig
 {
+    /**
+     * Paging architecture ZONE_PTP serves: decides the table-granule
+     * size (frames per table page), the level count the zone
+     * partitions across, and — for the block-bit screen — which
+     * descriptor bit marks a block leaf.  Points at one of the
+     * static `paging` descriptors; never owned.
+     */
+    const paging::Arch *arch = &paging::kX86_64;
+
     /**
      * True-cell bytes ZONE_PTP must provide (the paper evaluates
      * 32 MiB and 64 MiB; 32 MiB suffices for typical systems).

@@ -12,7 +12,7 @@ using mm::FrameSpan;
 
 PtpZone::PtpZone(dram::DramModule &module, const CtaConfig &config,
                  const PtpLayout &layout)
-    : module_(module),
+    : module_(module), arch_(config.arch),
       indicator_(module.geometry().capacity(), config.ptpBytes),
       lowWaterMark_(layout.lowWaterMark),
       trueBytes_(layout.trueBytes),
@@ -55,7 +55,7 @@ PtpZone::layout() const
 }
 
 PtpZone::PtpZone(dram::DramModule &module, const CtaConfig &config)
-    : module_(module),
+    : module_(module), arch_(config.arch),
       indicator_(module.geometry().capacity(), config.ptpBytes),
       multiLevel_(config.multiLevelZones)
 {
@@ -127,20 +127,29 @@ PtpZone::partitionLevels(const CtaConfig &config)
     }
 
     const std::uint64_t total = trueBytes_ / pageSize;
+    const unsigned top = arch_->levels;
+    const std::uint64_t granule_frames = arch_->granuleFrames();
     // Heuristic reservations: leaf tables dominate (each level-k
-    // table serves 512 level-(k-1) tables), so levels 2..4 get small
-    // slices; higher levels sit at higher physical addresses.
+    // table serves entriesPerTable level-(k-1) tables), so the upper
+    // levels get small slices; higher levels sit at higher physical
+    // addresses.  Slices are rounded down to whole table granules so
+    // every partition can hand out naturally aligned granule runs.
     std::array<std::uint64_t, 5> want{};
-    want[4] = std::min<std::uint64_t>(256, total / 16);
-    want[3] = std::min<std::uint64_t>(256, total / 16);
-    want[2] = std::min<std::uint64_t>(512, total / 8);
-    want[1] = total - want[4] - want[3] - want[2];
+    std::uint64_t upper = 0;
+    for (unsigned level = top; level >= 2; --level) {
+        want[level] = level == 2
+                          ? std::min<std::uint64_t>(512, total / 8)
+                          : std::min<std::uint64_t>(256, total / 16);
+        want[level] &= ~(granule_frames - 1);
+        upper += want[level];
+    }
+    want[1] = total - upper;
 
-    // spans_ is ordered top-of-memory first; carve in level order
-    // 4, 3, 2, 1 so higher levels land higher.
+    // spans_ is ordered top-of-memory first; carve in root-first
+    // level order so higher levels land higher.
     std::size_t span_idx = 0;
     std::uint64_t offset = 0; // frames consumed from spans_[span_idx]
-    for (unsigned level = 4; level >= 1; --level) {
+    for (unsigned level = top; level >= 1; --level) {
         std::uint64_t need = want[level];
         while (need > 0) {
             if (span_idx >= spans_.size())
@@ -168,35 +177,40 @@ PtpZone::partitionLevels(const CtaConfig &config)
 void
 PtpZone::screenPageSizeBits()
 {
-    // Only levels whose entries can carry a PS bit need screening:
-    // PD (level 2) and PDPT (level 3) entries map 2 MiB / 1 GiB data
-    // pages when bit 7 is set.  PML4 entries have no PS bit, but we
-    // screen them too for uniformity (the cost is negligible).
+    // Only levels whose entries can carry the block marker need
+    // screening: on x86 a PD/PDPT entry whose PS bit flips '1'->'0'
+    // stops being a 2 MiB / 1 GiB leaf, on ARM a table descriptor
+    // whose type bit flips '1'->'0' *becomes* a block leaf — either
+    // way the dangerous direction in true-cells is '1'->'0' on the
+    // descriptor's block bit.  Level>=2 candidate granules with a
+    // vulnerable block-bit cell in any slot are dropped whole.
     const dram::FaultModel &faults = module_.faults();
-    for (unsigned level = 2; level <= 4; ++level) {
+    const std::uint64_t granule_frames = arch_->granuleFrames();
+    const std::uint64_t slots = arch_->entriesPerTable();
+    for (unsigned level = 2; level <= arch_->levels; ++level) {
         std::vector<FrameSpan> clean;
         for (const FrameSpan &span : levelSpans_[level]) {
-            for (Pfn pfn = span.basePfn; pfn < span.endPfn(); ++pfn) {
+            for (Pfn pfn = span.basePfn; pfn < span.endPfn();
+                 pfn += granule_frames) {
                 bool exploitable = false;
                 for (std::uint64_t slot = 0;
-                     slot < paging::ptesPerPage && !exploitable;
-                     ++slot) {
+                     slot < slots && !exploitable; ++slot) {
                     const Addr addr = pfnToAddr(pfn) + slot * 8;
-                    if (faults.vulnerable(addr, paging::Pte::pageSizeBit) &&
+                    if (faults.vulnerable(addr, arch_->blockBit) &&
                         faults.flipDirection(
-                            addr, paging::Pte::pageSizeBit,
+                            addr, arch_->blockBit,
                             dram::CellType::True) ==
                             dram::FlipDirection::OneToZero) {
                         exploitable = true;
                     }
                 }
                 if (exploitable) {
-                    ++screenedFrames_;
+                    screenedFrames_ += granule_frames;
                 } else if (!clean.empty() &&
                            clean.back().endPfn() == pfn) {
-                    clean.back().frames += 1;
+                    clean.back().frames += granule_frames;
                 } else {
-                    clean.push_back(FrameSpan{pfn, 1});
+                    clean.push_back(FrameSpan{pfn, granule_frames});
                 }
             }
         }
@@ -207,14 +221,21 @@ PtpZone::screenPageSizeBits()
 std::optional<Pfn>
 PtpZone::allocate(unsigned level)
 {
-    if (level < 1 || level > 4)
-        fatal("PtpZone::allocate: level must be 1..4, got ", level);
+    if (level < 1 || level > arch_->levels) {
+        fatal("PtpZone::allocate: level must be 1..", arch_->levels,
+              " on ", arch_->name, ", got ", level);
+    }
     const unsigned partition = multiLevel_ ? level : 1;
     stats_.at(allocsLIds_[partition]).increment();
+    const unsigned order = arch_->tableOrder();
     for (mm::BuddyAllocator &buddy : levelBuddies_[partition]) {
-        if (auto pfn = buddy.allocate(0)) {
+        if (auto pfn = buddy.allocate(order)) {
             static const std::array<std::uint8_t, pageSize> zeros{};
-            module_.write(pfnToAddr(*pfn), zeros.data(), pageSize);
+            for (std::uint64_t frame = 0;
+                 frame < arch_->granuleFrames(); ++frame) {
+                module_.write(pfnToAddr(*pfn + frame), zeros.data(),
+                              pageSize);
+            }
             return pfn;
         }
     }
@@ -229,7 +250,7 @@ PtpZone::free(Pfn pfn)
     for (unsigned level = 1; level <= 4; ++level) {
         for (mm::BuddyAllocator &buddy : levelBuddies_[level]) {
             if (buddy.contains(pfn)) {
-                buddy.free(pfn, 0);
+                buddy.free(pfn, arch_->tableOrder());
                 return;
             }
         }

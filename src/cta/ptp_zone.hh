@@ -104,9 +104,11 @@ class PtpZone
     /** @name Allocation */
     /** @{ */
     /**
-     * Allocate one zeroed table frame for a level-@p level table
-     * (1 = PT .. 4 = PML4).  Without multi-level zoning all levels
-     * share one partition.
+     * Allocate one zeroed table granule for a level-@p level table
+     * (1 = leaf table .. root level).  Returns the base PFN of a
+     * naturally aligned run of granuleFrames() 4 KiB frames (one
+     * frame on x86-64).  Without multi-level zoning all levels share
+     * one partition.
      */
     std::optional<Pfn> allocate(unsigned level);
 
@@ -127,10 +129,13 @@ class PtpZone
     /** Partition the collected spans across paging levels. */
     void partitionLevels(const CtaConfig &config);
 
-    /** Drop level>=2 frames with '1'->'0'-vulnerable PS-bit cells. */
+    /** Drop level>=2 frames with block-bit cells that can flip the
+     *  entry into a block leaf (PS 1->0 on x86; the screen direction
+     *  is the same on ARM, whose type bit is block-when-clear). */
     void screenPageSizeBits();
 
     dram::DramModule &module_;
+    const paging::Arch *arch_;
     PtpIndicator indicator_;
     Addr lowWaterMark_ = 0;
     std::uint64_t trueBytes_ = 0;

@@ -5,6 +5,7 @@
 #include "common/bitops.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "mm/buddy.hh"
 
 namespace ctamem::kernel {
 
@@ -74,6 +75,9 @@ zebramZoneSpecs(const dram::Geometry &geom)
 
 Kernel::Kernel(const KernelConfig &config) : config_(config)
 {
+    // ZONE_PTP sizes table granules and screens block bits per the
+    // kernel's architecture; keep the nested config in lockstep.
+    config_.cta.arch = config_.arch;
     dram_ = std::make_unique<dram::DramModule>(config.dram);
 
     std::vector<ZoneSpec> specs;
@@ -85,7 +89,7 @@ Kernel::Kernel(const KernelConfig &config) : config_(config)
                              PageKind::PageTable};
         break;
       case AllocPolicy::Cta: {
-        cta::CtaPlan plan = cta::buildCtaPlan(*dram_, config.cta);
+        cta::CtaPlan plan = cta::buildCtaPlan(*dram_, config_.cta);
         ptp_ = std::move(plan.ptp);
         specs = std::move(plan.physSpecs);
         pteFlags_ = mm::GFP_PTP; // unused: ptp_ serves requests
@@ -109,6 +113,7 @@ Kernel::Kernel(const KernelConfig &config) : config_(config)
 Kernel::Kernel(const KernelConfig &config, const BootImage &image)
     : config_(config)
 {
+    config_.cta.arch = config_.arch;
     dram_ = std::make_unique<dram::DramModule>(config.dram);
 
     // The zone specs come from the image rather than from a fresh
@@ -122,7 +127,7 @@ Kernel::Kernel(const KernelConfig &config, const BootImage &image)
       case AllocPolicy::Cta:
         if (!image.ptpLayout)
             fatal("warm start: CTA policy needs a ZONE_PTP layout");
-        ptp_ = std::make_unique<cta::PtpZone>(*dram_, config.cta,
+        ptp_ = std::make_unique<cta::PtpZone>(*dram_, config_.cta,
                                               *image.ptpLayout);
         pteFlags_ = mm::GFP_PTP;
         break;
@@ -157,7 +162,8 @@ Kernel::finishBoot(std::vector<ZoneSpec> specs, const BootImage *image)
 
     bootSpecs_ = std::move(specs);
     phys_ = std::make_unique<mm::PhysicalMemory>(*dram_, bootSpecs_);
-    mmu_ = std::make_unique<paging::Mmu>(*dram_, config_.tlbEntries);
+    mmu_ = std::make_unique<paging::Mmu>(*dram_, config_.tlbEntries,
+                                         *config_.arch);
 
     // Plant the kernel secret the attacks try to reach.  Allocation
     // is deterministic, so a warm start replays it and must land on
@@ -222,14 +228,14 @@ Kernel::createProcess(const std::string &name, bool trusted)
     proc.name = name;
     proc.trusted = trusted;
 
-    auto root = pteAllocOne(4, pid);
+    auto root = pteAllocOne(arch().levels, pid);
     if (!root)
-        fatal("createProcess: cannot allocate a PML4 frame");
+        fatal("createProcess: cannot allocate a root table frame");
     proc.rootPfn = *root;
     proc.space = std::make_unique<paging::AddressSpace>(
         *dram_,
         [this, pid](unsigned level) { return pteAllocOne(level, pid); },
-        [this](Pfn pfn) { pteFree(pfn); }, *root);
+        [this](Pfn pfn) { pteFree(pfn); }, *root, arch());
 
     processes_.emplace(pid, std::move(proc));
     stats_.at(processesCreatedId_).increment();
@@ -270,7 +276,8 @@ int
 Kernel::createFile(std::uint64_t length)
 {
     const int fd = nextFd_++;
-    files_[fd] = SimFile{fd, pageAlignUp(length), {}};
+    const std::uint64_t mask = pageBytes() - 1;
+    files_[fd] = SimFile{fd, (length + mask) & ~mask, {}};
     return fd;
 }
 
@@ -278,14 +285,15 @@ int
 Kernel::createDeviceBuffer(std::uint64_t length)
 {
     const int fd = nextFd_++;
-    SimFile buffer{fd, pageAlignUp(length), {}};
-    // Device buffers live in kernel memory: allocate every frame now
-    // from the kernel's preferred zone.
+    const std::uint64_t mask = pageBytes() - 1;
+    SimFile buffer{fd, (length + mask) & ~mask, {}};
+    // Device buffers live in kernel memory: allocate every page-sized
+    // frame run now from the kernel's preferred zone.
     const GfpFlags flags =
         dataFlags(Process{.trusted = true}, PageKind::KernelData);
-    for (std::uint64_t idx = 0; idx * pageSize < buffer.length;
+    for (std::uint64_t idx = 0; idx * pageBytes() < buffer.length;
          ++idx) {
-        auto pfn = phys_->allocate(flags);
+        auto pfn = phys_->allocate(flags, arch().tableOrder());
         if (!pfn)
             fatal("createDeviceBuffer: out of kernel memory");
         dram_->writeU64(pfnToAddr(*pfn),
@@ -301,17 +309,17 @@ VAddr
 Kernel::placeVma(Process &proc, std::uint64_t length, VAddr fixed)
 {
     if (fixed != 0) {
-        if (fixed & pageMask)
+        if (fixed & (pageBytes() - 1))
             fatal("mmap: fixed address not page aligned");
         if (proc.overlapsVma(fixed, length))
             return 0;
         return fixed;
     }
-    // Bump allocation at 2 MiB alignment: every mapping starts in its
-    // own PD slot, so each gets its own leaf page table — the layout
-    // the PTE-spray attack wants and the one that keeps table
-    // accounting predictable.
-    constexpr VAddr align = 2 * MiB;
+    // Bump allocation at level-2 coverage alignment (2 MiB on
+    // x86-64): every mapping starts in its own level-2 slot, so each
+    // gets its own leaf page table — the layout the PTE-spray attack
+    // wants and the one that keeps table accounting predictable.
+    const VAddr align = arch().levelCoverage(2);
     VAddr base = (proc.mmapCursor + align - 1) & ~(align - 1);
     proc.mmapCursor = base + std::max<std::uint64_t>(length, align);
     return base;
@@ -327,7 +335,8 @@ Kernel::mmapFile(int pid, int fd, std::uint64_t length,
     if (length == 0)
         fatal("mmapFile: zero length");
     Process &proc = process(pid);
-    length = pageAlignUp(length);
+    const std::uint64_t mask = pageBytes() - 1;
+    length = (length + mask) & ~mask;
     const VAddr base = placeVma(proc, length, fixed);
     if (base == 0)
         return 0;
@@ -341,16 +350,22 @@ Kernel::mmapAnonLarge(int pid, const PageFlags &prot, unsigned level,
                       VAddr fixed)
 {
     if (level != 2)
-        fatal("mmapAnonLarge: only 2 MiB (level 2) pages supported");
-    if (fixed % paging::levelCoverage(level) != 0)
+        fatal("mmapAnonLarge: only level-2 block pages supported");
+    if (fixed % arch().levelCoverage(level) != 0)
         fatal("mmapAnonLarge: fixed address must be large-page "
               "aligned");
     Process &proc = process(pid);
-    const std::uint64_t length = paging::levelCoverage(level);
+    const std::uint64_t length = arch().levelCoverage(level);
+    const unsigned order = log2Floor(length / pageSize);
+    // Blocks bigger than the buddy allocator's largest order (16 KiB
+    // and 64 KiB AArch64 granules put level-2 blocks at 32/512 MiB)
+    // are simply not available — same graceful no-large-pages answer
+    // an out-of-memory system gives.
+    if (order > mm::BuddyAllocator::maxOrder)
+        return 0;
     const VAddr base = placeVma(proc, length, fixed);
     if (base == 0)
         return 0;
-    const unsigned order = log2Floor(length / pageSize);
     auto frame = phys_->allocate(dataFlags(proc, PageKind::UserData),
                                  order, pid);
     if (!frame)
@@ -375,7 +390,8 @@ Kernel::mmapAnon(int pid, std::uint64_t length, const PageFlags &prot,
     if (length == 0)
         fatal("mmapAnon: zero length");
     Process &proc = process(pid);
-    length = pageAlignUp(length);
+    const std::uint64_t mask = pageBytes() - 1;
+    length = (length + mask) & ~mask;
     const VAddr base = placeVma(proc, length, fixed);
     if (base == 0)
         return 0;
@@ -396,7 +412,7 @@ Kernel::munmap(int pid, VAddr start)
         return false;
 
     for (VAddr vaddr = it->start; vaddr < it->end();
-         vaddr += pageSize) {
+         vaddr += pageBytes()) {
         proc.space->unmap(vaddr);
         mmu_->tlb().flushPage(vaddr);
         auto frame = proc.anonFrames.find(vaddr);
@@ -431,7 +447,7 @@ Kernel::handlePageFault(Process &proc, VAddr vaddr)
         return false;
     }
 
-    const VAddr page = pageAlignDown(vaddr);
+    const VAddr page = vaddr & ~(pageBytes() - 1);
     Pfn pfn = invalidPfn;
     if (vma->largeLevel != 0) {
         // A severed large-page walk path: re-map the resident block
@@ -458,7 +474,8 @@ Kernel::handlePageFault(Process &proc, VAddr vaddr)
             pfn = resident->second;
         } else {
             auto frame = phys_->allocate(
-                dataFlags(proc, PageKind::UserData), 0, proc.pid);
+                dataFlags(proc, PageKind::UserData),
+                arch().tableOrder(), proc.pid);
             if (!frame) {
                 stats_.at(oomFaultsId_).increment();
                 return false;
@@ -469,14 +486,15 @@ Kernel::handlePageFault(Process &proc, VAddr vaddr)
     } else {
         SimFile &file = files_.at(vma->fd);
         const std::uint64_t page_idx =
-            (page - vma->start + vma->fileOffset) / pageSize;
-        if (page_idx * pageSize >= file.length) {
+            (page - vma->start + vma->fileOffset) / pageBytes();
+        if (page_idx * pageBytes() >= file.length) {
             stats_.at(segfaultsId_).increment();
             return false;
         }
         auto cached = file.frames.find(page_idx);
         if (cached == file.frames.end()) {
-            auto frame = phys_->allocate(mm::GFP_FILE);
+            auto frame =
+                phys_->allocate(mm::GFP_FILE, arch().tableOrder());
             if (!frame) {
                 stats_.at(oomFaultsId_).increment();
                 return false;
@@ -561,7 +579,7 @@ Kernel::pteAllocOne(unsigned level, int pid)
         if (!pfn && reclaimLeafTable())
             pfn = ptp_->allocate(level);
     } else {
-        pfn = phys_->allocate(pteFlags_, 0, pid);
+        pfn = phys_->allocate(pteFlags_, arch().tableOrder(), pid);
     }
     if (!pfn) {
         stats_.at(pteAllocFailuresId_).increment();
@@ -635,21 +653,21 @@ Kernel::auditTheorem() const
             audit.violations.push_back(
                 "table frame resides in anti-cells");
         }
-        for (std::uint64_t slot = 0; slot < paging::ptesPerPage;
+        for (std::uint64_t slot = 0; slot < arch().entriesPerTable();
              ++slot) {
-            const paging::Pte entry(
-                dram_->readU64(base + slot * 8));
-            if (!entry.present())
+            const std::uint64_t raw =
+                dram_->readU64(base + slot * 8);
+            if (!arch().present(raw))
                 continue;
-            const bool leaf = level == 1 || entry.pageSize();
+            const bool leaf = level == 1 || arch().blockMarked(raw);
             if (leaf) {
-                if (pfnToAddr(entry.pfn()) >= lwm) {
+                if (pfnToAddr(arch().pfn(raw)) >= lwm) {
                     audit.pointersBelowLwm = false;
                     audit.violations.push_back(
                         "leaf PTE points at or above the low water "
                         "mark");
                 }
-            } else if (!isPageTableFrame(entry.pfn())) {
+            } else if (!isPageTableFrame(arch().pfn(raw))) {
                 audit.violations.push_back(
                     "intermediate entry points at a non-table frame");
             }

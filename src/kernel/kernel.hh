@@ -45,6 +45,14 @@ struct KernelConfig
     AllocPolicy policy = AllocPolicy::Standard;
     cta::CtaConfig cta;      //!< used when policy == Cta
     std::size_t tlbEntries = 64;
+
+    /**
+     * Paging architecture the kernel boots with.  Points at one of
+     * the static `paging` descriptors (never owned); the kernel
+     * propagates it into the CTA config, the MMU and every address
+     * space it creates.
+     */
+    const paging::Arch *arch = &paging::kX86_64;
 };
 
 /**
@@ -106,6 +114,16 @@ class Kernel
     dram::DramModule &dram() { return *dram_; }
     mm::PhysicalMemory &phys() { return *phys_; }
     paging::Mmu &mmu() { return *mmu_; }
+
+    /** The paging architecture this kernel booted with. */
+    const paging::Arch &arch() const { return *config_.arch; }
+
+    /**
+     * Bytes of one translation granule — the OS page size (4 KiB on
+     * x86-64; the configured granule on AArch64).  Data frames and
+     * table pages are runs of granuleFrames() 4 KiB frames.
+     */
+    std::uint64_t pageBytes() const { return arch().granuleBytes(); }
     cta::PtpZone *ptpZone() { return ptp_.get(); }
     const cta::PtpZone *ptpZone() const { return ptp_.get(); }
     const KernelConfig &config() const { return config_; }
@@ -187,10 +205,10 @@ class Kernel
     /** Release a page-table page. */
     void pteFree(Pfn pfn);
 
-    /** True iff @p pfn currently holds a page-table page. */
+    /** True iff @p pfn lies inside a live page-table granule. */
     bool isPageTableFrame(Pfn pfn) const
     {
-        return ptFrameLevels_.contains(pfn);
+        return ptFrameLevels_.contains(tableBase(pfn));
     }
 
     /** Level of the table in @p pfn (0 when not a table). */
@@ -205,7 +223,7 @@ class Kernel
     /** Bytes currently consumed by page tables, machine-wide. */
     std::uint64_t pageTableBytes() const
     {
-        return ptFrameLevels_.size() * pageSize;
+        return ptFrameLevels_.size() * pageBytes();
     }
     /** @} */
 
@@ -244,6 +262,13 @@ class Kernel
     /** Shared tail of both constructors: allocator, MMU, secret. */
     void finishBoot(std::vector<mm::ZoneSpec> specs,
                     const BootImage *image);
+
+    /** Base frame of the table granule containing @p pfn (identity
+     *  on x86-64, whose granule is one frame). */
+    Pfn tableBase(Pfn pfn) const
+    {
+        return pfn & ~(config_.arch->granuleFrames() - 1);
+    }
 
     paging::PageFlags vmaLeafFlags(const Vma &vma) const;
     bool handlePageFault(Process &proc, VAddr vaddr);

@@ -28,7 +28,7 @@ struct Vma
     paging::PageFlags prot;
     int fd = -1;                 //!< backing file, or -1 for anonymous
     std::uint64_t fileOffset = 0;
-    unsigned largeLevel = 0;     //!< 0 = 4 KiB pages, 2 = 2 MiB page
+    unsigned largeLevel = 0;     //!< 0 = base pages, else block level
 
     VAddr end() const { return start + length; }
     bool isAnon() const { return fd < 0; }
@@ -57,7 +57,7 @@ struct Process
     /** Trusted processes may draw from ZONE_KERNEL_RSV (Section 5). */
     bool trusted = false;
 
-    Pfn rootPfn = invalidPfn; //!< PML4 frame
+    Pfn rootPfn = invalidPfn; //!< root table frame (x86 PML4 / ARM TTBR)
     std::unique_ptr<paging::AddressSpace> space;
     std::vector<Vma> vmas;
 

@@ -19,6 +19,16 @@ SystemParams::indicatorBits() const
     return log2Floor(memBytes / ptpBytes);
 }
 
+unsigned
+SystemParams::pointerBits() const
+{
+    if (!isPowerOfTwo(granuleBytes) || granuleBytes >= ptpBytes) {
+        fatal("SystemParams: granule must be a power of two smaller "
+              "than ZONE_PTP");
+    }
+    return log2Floor(memBytes / granuleBytes);
+}
+
 double
 pExploitable(const SystemParams &params)
 {

@@ -38,8 +38,25 @@ struct SystemParams
     dram::ErrorStats errors;
     std::uint64_t rowBytes = 128 * KiB;
 
+    /**
+     * Translation granule of the modeled architecture: the size of
+     * one Algorithm 1 fill-and-check target page, and the unit the
+     * PTE pointer field addresses (4 KiB on x86-64; 4/16/64 KiB on
+     * AArch64).  Larger granules mean fewer candidate pages below
+     * the low water mark and fewer pointer bits per descriptor,
+     * shortening the brute-force sweep proportionally.
+     */
+    std::uint64_t granuleBytes = 4 * KiB;
+
     /** Indicator width n = log2(mem / ptp). */
     unsigned indicatorBits() const;
+
+    /**
+     * Width of the descriptor's pointer field for this granule:
+     * the bits addressing granule frames, log2(mem / granule).
+     * The indicator is its top indicatorBits() bits.
+     */
+    unsigned pointerBits() const;
 
     /** PTEs that fit in ZONE_PTP (8 bytes each). */
     std::uint64_t pteCount() const { return ptpBytes / 8; }
@@ -48,7 +65,7 @@ struct SystemParams
     std::uint64_t
     pagesBelowLwm() const
     {
-        return memBytes / pageSize - ptpBytes / pageSize;
+        return memBytes / granuleBytes - ptpBytes / granuleBytes;
     }
 
     /** DRAM rows making up ZONE_PTP. */

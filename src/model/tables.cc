@@ -5,7 +5,8 @@
 namespace ctamem::model {
 
 std::vector<TableRow>
-sweepTable(const dram::ErrorStats &errors)
+sweepTable(const dram::ErrorStats &errors,
+           std::uint64_t granule_bytes)
 {
     std::vector<TableRow> rows;
     for (const std::uint64_t mem :
@@ -17,6 +18,7 @@ sweepTable(const dram::ErrorStats &errors)
                 params.ptpBytes = ptp;
                 params.minIndicatorZeros = restricted ? 2 : 0;
                 params.errors = errors;
+                params.granuleBytes = granule_bytes;
                 rows.push_back(TableRow{
                     mem, ptp, restricted,
                     expectedExploitablePtes(params),
@@ -28,15 +30,16 @@ sweepTable(const dram::ErrorStats &errors)
 }
 
 std::vector<TableRow>
-makeTable2()
+makeTable2(std::uint64_t granule_bytes)
 {
-    return sweepTable(dram::ErrorStats{});
+    return sweepTable(dram::ErrorStats{}, granule_bytes);
 }
 
 std::vector<TableRow>
-makeTable3()
+makeTable3(std::uint64_t granule_bytes)
 {
-    return sweepTable(dram::ErrorStats::pessimistic());
+    return sweepTable(dram::ErrorStats::pessimistic(),
+                      granule_bytes);
 }
 
 std::vector<PaperReference>

@@ -5,9 +5,10 @@
 namespace ctamem::paging {
 
 AddressSpace::AddressSpace(dram::DramModule &module, PteAllocFn alloc,
-                           PteFreeFn free_fn, Pfn root)
+                           PteFreeFn free_fn, Pfn root,
+                           const Arch &arch)
     : module_(module), alloc_(std::move(alloc)),
-      free_(std::move(free_fn)), root_(root)
+      free_(std::move(free_fn)), root_(root), arch_(arch)
 {
 }
 
@@ -15,25 +16,23 @@ std::optional<Pfn>
 AddressSpace::ensureTable(VAddr vaddr, unsigned target)
 {
     Pfn table = root_;
-    for (unsigned level = pagingLevels; level > target; --level) {
+    for (unsigned level = arch_.levels; level > target; --level) {
         const Addr entry_addr =
-            pfnToAddr(table) + tableIndex(vaddr, level) * 8;
-        Pte entry(module_.readU64(entry_addr));
-        if (!entry.present()) {
+            pfnToAddr(table) + arch_.tableIndex(vaddr, level) * 8;
+        std::uint64_t entry = module_.readU64(entry_addr);
+        if (!arch_.present(entry)) {
             auto fresh = alloc_(level - 1);
             if (!fresh)
                 return std::nullopt;
             tables_.push_back(
                 TableRecord{*fresh, level - 1, entry_addr});
-            // Table entries carry the most permissive flags; leaves
-            // enforce the real policy (the Linux convention).
-            entry = Pte::make(*fresh, PageFlags{true, true, false});
-            module_.writeU64(entry_addr, entry.raw());
-        } else if (entry.pageSize()) {
-            // A large-page leaf blocks descent.
+            entry = arch_.makeTable(*fresh);
+            module_.writeU64(entry_addr, entry);
+        } else if (arch_.blockMarked(entry)) {
+            // A block leaf blocks descent.
             return std::nullopt;
         }
-        table = entry.pfn();
+        table = arch_.pfn(entry);
     }
     return table;
 }
@@ -45,8 +44,8 @@ AddressSpace::map(VAddr vaddr, Pfn pfn, const PageFlags &flags)
     if (!table)
         return false;
     const Addr entry_addr =
-        pfnToAddr(*table) + tableIndex(vaddr, 1) * 8;
-    module_.writeU64(entry_addr, Pte::make(pfn, flags).raw());
+        pfnToAddr(*table) + arch_.tableIndex(vaddr, 1) * 8;
+    module_.writeU64(entry_addr, arch_.makeLeaf(pfn, flags, 1));
     return true;
 }
 
@@ -54,17 +53,18 @@ bool
 AddressSpace::mapLarge(VAddr vaddr, Pfn pfn, const PageFlags &flags,
                        unsigned level)
 {
-    if (level < 2 || level > 3)
-        fatal("mapLarge: level must be 2 (2 MiB) or 3 (1 GiB)");
-    if (vaddr & (levelCoverage(level) - 1))
+    if (level < 2 || level > arch_.maxLeafLevel) {
+        fatal("mapLarge: level must be 2..", arch_.maxLeafLevel,
+              " on ", arch_.name, ", got ", level);
+    }
+    if (vaddr & (arch_.levelCoverage(level) - 1))
         fatal("mapLarge: vaddr not aligned to the page size");
     auto table = ensureTable(vaddr, level);
     if (!table)
         return false;
     const Addr entry_addr =
-        pfnToAddr(*table) + tableIndex(vaddr, level) * 8;
-    module_.writeU64(entry_addr,
-                     Pte::make(pfn, flags, /*page_size=*/true).raw());
+        pfnToAddr(*table) + arch_.tableIndex(vaddr, level) * 8;
+    module_.writeU64(entry_addr, arch_.makeLeaf(pfn, flags, level));
     return true;
 }
 
@@ -72,17 +72,17 @@ bool
 AddressSpace::unmap(VAddr vaddr)
 {
     Pfn table = root_;
-    for (unsigned level = pagingLevels; level >= 1; --level) {
+    for (unsigned level = arch_.levels; level >= 1; --level) {
         const Addr entry_addr =
-            pfnToAddr(table) + tableIndex(vaddr, level) * 8;
-        const Pte entry(module_.readU64(entry_addr));
-        if (!entry.present())
+            pfnToAddr(table) + arch_.tableIndex(vaddr, level) * 8;
+        const std::uint64_t entry = module_.readU64(entry_addr);
+        if (!arch_.present(entry))
             return false;
-        if (level == 1 || entry.pageSize()) {
+        if (level == 1 || arch_.blockMarked(entry)) {
             module_.writeU64(entry_addr, 0);
             return true;
         }
-        table = entry.pfn();
+        table = arch_.pfn(entry);
     }
     return false;
 }

@@ -19,6 +19,7 @@
 
 #include "common/types.hh"
 #include "dram/module.hh"
+#include "paging/arch.hh"
 #include "paging/pte.hh"
 #include "paging/walker.hh"
 
@@ -39,11 +40,11 @@ using PteFreeFn = std::function<void(Pfn pfn)>;
 struct TableRecord
 {
     Pfn pfn;
-    unsigned level;        //!< 1 = leaf PT .. 3 = PDPT
+    unsigned level;        //!< 1 = leaf table .. levels-1
     Addr parentEntryAddr;  //!< physical address of the owning entry
 };
 
-/** One process's 4-level page-table hierarchy. */
+/** One process's radix page-table hierarchy. */
 class AddressSpace
 {
   public:
@@ -51,23 +52,29 @@ class AddressSpace
      * @param module    DRAM holding the tables
      * @param alloc     the pte_alloc_one hook
      * @param free_fn   the matching release hook
-     * @param root      PML4 frame (already allocated and zeroed)
+     * @param root      root table frame (already allocated, zeroed)
+     * @param arch      paging architecture the tables follow
      */
     AddressSpace(dram::DramModule &module, PteAllocFn alloc,
-                 PteFreeFn free_fn, Pfn root);
+                 PteFreeFn free_fn, Pfn root,
+                 const Arch &arch = kX86_64);
 
     Pfn root() const { return root_; }
 
+    /** The descriptor this space encodes entries with. */
+    const Arch &arch() const { return arch_; }
+
     /**
-     * Map the 4 KiB page at @p vaddr to @p pfn.  Intermediate tables
-     * are created on demand via the alloc hook.
+     * Map the base-granule page at @p vaddr to @p pfn.  Intermediate
+     * tables are created on demand via the alloc hook.
      * @return false when a table allocation failed (out of zone).
      */
     bool map(VAddr vaddr, Pfn pfn, const PageFlags &flags);
 
     /**
-     * Map a large page (level 2 = 2 MiB, level 3 = 1 GiB) by setting
-     * the PS bit at the corresponding level.
+     * Map a large (block) page at @p level — on x86-64, level 2 =
+     * 2 MiB, level 3 = 1 GiB — by writing a block descriptor at the
+     * corresponding level.
      */
     bool mapLarge(VAddr vaddr, Pfn pfn, const PageFlags &flags,
                   unsigned level);
@@ -114,6 +121,7 @@ class AddressSpace
     PteAllocFn alloc_;
     PteFreeFn free_;
     Pfn root_;
+    const Arch &arch_;
     std::vector<TableRecord> tables_;
 };
 

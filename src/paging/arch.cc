@@ -1,0 +1,50 @@
+#include "paging/arch.hh"
+
+#include "common/log.hh"
+
+namespace ctamem::paging {
+
+const Arch &
+resolveArch(Isa isa, std::uint64_t granule_bytes)
+{
+    if (isa == Isa::X86_64) {
+        if (granule_bytes != 4 * KiB) {
+            fatal("x86-64 paging has a fixed 4 KiB granule, not ",
+                  granule_bytes, " bytes");
+        }
+        return kX86_64;
+    }
+    switch (granule_bytes) {
+      case 4 * KiB:
+        return kAArch64_4K;
+      case 16 * KiB:
+        return kAArch64_16K;
+      case 64 * KiB:
+        return kAArch64_64K;
+      default:
+        fatal("aarch64 granule must be 4 KiB, 16 KiB or 64 KiB, not ",
+              granule_bytes, " bytes");
+    }
+}
+
+const char *
+isaName(Isa isa)
+{
+    return isa == Isa::X86_64 ? "x86_64" : "aarch64";
+}
+
+bool
+parseIsa(const std::string &name, Isa &out)
+{
+    if (name == "x86_64") {
+        out = Isa::X86_64;
+        return true;
+    }
+    if (name == "aarch64") {
+        out = Isa::AArch64;
+        return true;
+    }
+    return false;
+}
+
+} // namespace ctamem::paging

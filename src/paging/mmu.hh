@@ -8,28 +8,32 @@
 
 #include "common/types.hh"
 #include "dram/module.hh"
+#include "paging/arch.hh"
 #include "paging/tlb.hh"
 #include "paging/walker.hh"
 
 namespace ctamem::paging {
 
-/** Translates virtual accesses, caching 4 KiB leaf translations. */
+/** Translates virtual accesses, caching base-granule translations. */
 class Mmu
 {
   public:
-    explicit Mmu(dram::DramModule &module, std::size_t tlb_entries = 64)
-        : walker_(module), tlb_(tlb_entries)
+    explicit Mmu(dram::DramModule &module, std::size_t tlb_entries = 64,
+                 const Arch &arch = kX86_64)
+        : walker_(module, arch), tlb_(tlb_entries, 8, arch.granuleShift)
     {}
 
     /**
      * Translate @p vaddr in the space rooted at @p root.  TLB hits
-     * skip the walk but still enforce the cached R/W / U/S bits.
+     * skip the walk but still enforce the cached writable/user bits.
      */
     WalkResult
     translate(Pfn root, VAddr vaddr, AccessType access,
               Privilege privilege)
     {
-        if (const TlbEntry *hit = tlb_.lookup(root, vaddr)) {
+        const Arch &arch = walker_.arch();
+        if (const TlbEntry *hit =
+                tlb_.lookup(root, vaddr, arch.tag())) {
             WalkResult result;
             result.writable = hit->writable;
             result.user = hit->user;
@@ -38,19 +42,21 @@ class Mmu
                 result.fault = Fault::Protection;
                 return result;
             }
-            result.phys = hit->physBase | (vaddr & pageMask);
+            result.phys = hit->physBase | (vaddr & arch.granuleMask());
             return result;
         }
         WalkResult result = walker_.walk(root, vaddr, access,
                                          privilege);
         if (result.ok() && result.leafLevel == 1) {
-            tlb_.insert(TlbEntry{root, vaddr >> pageShift,
-                                 pageAlignDown(result.phys),
-                                 result.writable, result.user});
+            tlb_.insert(TlbEntry{root, vaddr >> arch.granuleShift,
+                                 result.phys & ~arch.granuleMask(),
+                                 result.writable, result.user,
+                                 arch.tag()});
         }
         return result;
     }
 
+    const Arch &arch() const { return walker_.arch(); }
     PageWalker &walker() { return walker_; }
     Tlb &tlb() { return tlb_; }
 

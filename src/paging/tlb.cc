@@ -4,7 +4,8 @@
 
 namespace ctamem::paging {
 
-Tlb::Tlb(std::size_t capacity, std::size_t ways)
+Tlb::Tlb(std::size_t capacity, std::size_t ways, unsigned page_shift)
+    : pageShift_(page_shift)
 {
     if (capacity == 0)
         capacity = 1;
@@ -25,15 +26,16 @@ Tlb::Tlb(std::size_t capacity, std::size_t ways)
 }
 
 const TlbEntry *
-Tlb::lookup(Pfn root, VAddr vaddr)
+Tlb::lookup(Pfn root, VAddr vaddr, std::uint64_t arch_tag)
 {
-    const VAddr vpn = vaddr >> pageShift;
-    const std::size_t set = setIndex(root, vpn);
+    const VAddr vpn = vaddr >> pageShift_;
+    const std::size_t set = setIndex(root, vpn, arch_tag);
     Slot *base = slots_.data() + set * ways_;
     for (std::size_t way = 0; way < ways_; ++way) {
         Slot &slot = base[way];
         if (slot.valid && slot.entry.vpn == vpn &&
-            slot.entry.root == root) {
+            slot.entry.root == root &&
+            slot.entry.archTag == arch_tag) {
             slot.stamp = ++clocks_[set];
             stats_.at(hitsId_).increment();
             return &slot.entry;
@@ -46,7 +48,8 @@ Tlb::lookup(Pfn root, VAddr vaddr)
 void
 Tlb::insert(const TlbEntry &entry)
 {
-    const std::size_t set = setIndex(entry.root, entry.vpn);
+    const std::size_t set =
+        setIndex(entry.root, entry.vpn, entry.archTag);
     Slot *base = slots_.data() + set * ways_;
     Slot *victim = nullptr;
     for (std::size_t way = 0; way < ways_; ++way) {
@@ -57,7 +60,8 @@ Tlb::insert(const TlbEntry &entry)
             continue;
         }
         if (slot.entry.vpn == entry.vpn &&
-            slot.entry.root == entry.root) {
+            slot.entry.root == entry.root &&
+            slot.entry.archTag == entry.archTag) {
             // Refresh in place.
             slot.entry = entry;
             slot.stamp = ++clocks_[set];
@@ -91,7 +95,7 @@ Tlb::flushPage(VAddr vaddr)
 {
     // The set index depends on the root, so a (vpn, any-root) flush
     // must scan the whole array — same cost as the old list walk.
-    const VAddr vpn = vaddr >> pageShift;
+    const VAddr vpn = vaddr >> pageShift_;
     for (Slot &slot : slots_) {
         if (slot.valid && slot.entry.vpn == vpn) {
             slot.valid = false;

@@ -14,6 +14,12 @@
  * Capacities of at most one way collapse to a single fully
  * associative LRU set — exactly the old list-based model, which is
  * what the small TLBs in the tests exercise.
+ *
+ * Entries are keyed by (archTag, root, vpn): the root is the
+ * architecture-neutral address-space identifier (the root table
+ * frame), and the tag keeps translations minted under different
+ * paging architectures from ever aliasing, even if two arches hand
+ * out the same root frame number.
  */
 
 #ifndef CTAMEM_PAGING_TLB_HH
@@ -31,11 +37,13 @@ namespace ctamem::paging {
 /** One cached translation. */
 struct TlbEntry
 {
-    Pfn root;       //!< address-space identifier (PML4 frame)
-    VAddr vpn;      //!< virtual page number
-    Addr physBase;  //!< physical base of the 4 KiB frame
+    Pfn root;       //!< address-space identifier (root table frame)
+    VAddr vpn;      //!< virtual page number (granule units)
+    Addr physBase;  //!< physical base of the translation granule
     bool writable;
     bool user;
+    /** Arch::tag() of the minting architecture (0 = x86-64). */
+    std::uint64_t archTag = 0;
 };
 
 /** Set-associative LRU TLB. */
@@ -43,16 +51,20 @@ class Tlb
 {
   public:
     /**
-     * @param capacity total number of entries
-     * @param ways     target associativity; the set count is the
-     *                 largest power of two with sets*ways <= capacity
-     *                 (one fully associative set of @p capacity
-     *                 entries when capacity <= ways)
+     * @param capacity   total number of entries
+     * @param ways       target associativity; the set count is the
+     *                   largest power of two with sets*ways <=
+     *                   capacity (one fully associative set of
+     *                   @p capacity entries when capacity <= ways)
+     * @param page_shift log2 of the translation granule the vpn is
+     *                   expressed in (the arch's granuleShift)
      */
-    explicit Tlb(std::size_t capacity = 64, std::size_t ways = 8);
+    explicit Tlb(std::size_t capacity = 64, std::size_t ways = 8,
+                 unsigned page_shift = pageShift);
 
-    /** Look up (root, vaddr); nullptr on miss. */
-    const TlbEntry *lookup(Pfn root, VAddr vaddr);
+    /** Look up (tag, root, vaddr); nullptr on miss. */
+    const TlbEntry *lookup(Pfn root, VAddr vaddr,
+                           std::uint64_t arch_tag = 0);
 
     /** Insert a translation (evicting the set's LRU when full). */
     void insert(const TlbEntry &entry);
@@ -67,6 +79,7 @@ class Tlb
     std::size_t ways() const { return ways_; }
     std::size_t sets() const { return sets_; }
     std::size_t capacity() const { return sets_ * ways_; }
+    unsigned pageShiftBits() const { return pageShift_; }
 
     /** Counters: hits, misses, evictions, flushes. */
     StatGroup &stats() { return stats_; }
@@ -80,21 +93,24 @@ class Tlb
     };
 
     static std::uint64_t
-    splitKey(Pfn root)
+    splitKey(Pfn root, std::uint64_t arch_tag)
     {
-        return root * 0x9e3779b97f4a7c15ULL;
+        // arch_tag is 0 for the historical x86-64 descriptor, so its
+        // set-index function is bit-identical to the tag-free one.
+        return (root ^ arch_tag) * 0x9e3779b97f4a7c15ULL;
     }
 
-    /** Set index: low VPN bits, offset per address space. */
+    /** Set index: low VPN bits, offset per (arch, address space). */
     std::size_t
-    setIndex(Pfn root, VAddr vpn) const
+    setIndex(Pfn root, VAddr vpn, std::uint64_t arch_tag) const
     {
         return static_cast<std::size_t>(
-            (vpn ^ (splitKey(root) >> 40)) & (sets_ - 1));
+            (vpn ^ (splitKey(root, arch_tag) >> 40)) & (sets_ - 1));
     }
 
     std::size_t ways_;
     std::size_t sets_; //!< always a power of two
+    unsigned pageShift_;
     std::size_t live_ = 0;
     std::vector<Slot> slots_;            //!< sets_ * ways_, set-major
     std::vector<std::uint64_t> clocks_;  //!< per-set LRU stamp source

@@ -4,14 +4,16 @@
 
 namespace ctamem::paging {
 
-PageWalker::PageWalker(dram::DramModule &module) : module_(module)
+PageWalker::PageWalker(dram::DramModule &module, const Arch &arch)
+    : module_(module), arch_(arch)
 {
     walksId_ = stats_.registerCounter("walks");
     faultsId_ = stats_.registerCounter("faults");
     // The per-walk "leafLevel" + to_string allocation was the single
     // hottest stat; pre-register one handle per possible leaf level.
-    leafLevelIds_[0] = walksId_; // unused
-    for (unsigned level = 1; level <= maxLeafLevel; ++level) {
+    for (unsigned level = 0; level <= maxLevels; ++level)
+        leafLevelIds_[level] = walksId_; // unused slots
+    for (unsigned level = 1; level <= arch_.maxLeafLevel; ++level) {
         leafLevelIds_[level] = stats_.registerCounter(
             "leafLevel" + std::to_string(level));
     }
@@ -29,28 +31,34 @@ PageWalker::walk(Pfn root, VAddr vaddr, AccessType access,
     result.user = true;
 
     Pfn table = root;
-    for (unsigned level = pagingLevels; level >= 1; --level) {
+    for (unsigned level = arch_.levels; level >= 1; --level) {
         const Addr entry_addr =
-            pfnToAddr(table) + tableIndex(vaddr, level) * 8;
+            pfnToAddr(table) + arch_.tableIndex(vaddr, level) * 8;
         if (entry_addr + 8 > capacity) {
             result.fault = Fault::OutOfRange;
             stats_.at(faultsId_).increment();
             return result;
         }
-        const Pte entry(module_.readU64(entry_addr));
+        const std::uint64_t entry = module_.readU64(entry_addr);
 
-        if (!entry.present()) {
+        if (!arch_.present(entry)) {
             result.fault = Fault::NotPresent;
             stats_.at(faultsId_).increment();
             return result;
         }
 
-        // Effective permissions are the AND across levels.
-        result.writable = result.writable && entry.writable();
-        result.user = result.user && entry.user();
+        const bool leaf = arch_.leafAt(entry, level);
+        if (arch_.hierarchicalPerms) {
+            // Effective permissions are the AND across levels.
+            result.writable = result.writable && arch_.writable(entry);
+            result.user = result.user && arch_.user(entry);
+        } else if (leaf) {
+            // ARM table descriptors carry no permission bits; the
+            // leaf alone decides.
+            result.writable = arch_.writable(entry);
+            result.user = arch_.user(entry);
+        }
 
-        const bool leaf =
-            level == 1 || (level <= 3 && entry.pageSize());
         if (leaf) {
             if (privilege == Privilege::User && !result.user) {
                 result.fault = Fault::Protection;
@@ -62,10 +70,10 @@ PageWalker::walk(Pfn root, VAddr vaddr, AccessType access,
                 stats_.at(faultsId_).increment();
                 return result;
             }
-            const std::uint64_t coverage = levelCoverage(level);
-            const Addr base = pfnToAddr(entry.pfn());
-            // Large-page leaves interpret the PFN field at their own
-            // granularity: low PFN bits select within the big page.
+            const std::uint64_t coverage = arch_.levelCoverage(level);
+            const Addr base = pfnToAddr(arch_.pfn(entry));
+            // Large-page leaves interpret the pointer field at their
+            // own granularity: low bits select within the big page.
             const Addr phys =
                 (base & ~(coverage - 1)) | (vaddr & (coverage - 1));
             if (phys >= capacity) {
@@ -79,7 +87,7 @@ PageWalker::walk(Pfn root, VAddr vaddr, AccessType access,
             return result;
         }
 
-        table = entry.pfn();
+        table = arch_.pfn(entry);
         if (pfnToAddr(table) >= capacity) {
             result.fault = Fault::OutOfRange;
             stats_.at(faultsId_).increment();
@@ -96,26 +104,26 @@ PageWalker::entryAddress(Pfn root, VAddr vaddr, unsigned level)
 {
     const std::uint64_t capacity = module_.geometry().capacity();
     Pfn table = root;
-    for (unsigned current = pagingLevels; current >= 1; --current) {
+    for (unsigned current = arch_.levels; current >= 1; --current) {
         const Addr entry_addr =
-            pfnToAddr(table) + tableIndex(vaddr, current) * 8;
+            pfnToAddr(table) + arch_.tableIndex(vaddr, current) * 8;
         if (current == level)
             return entry_addr;
         if (entry_addr + 8 > capacity)
             return 0;
-        const Pte entry(module_.readU64(entry_addr));
-        if (!entry.present() || entry.pageSize())
+        const std::uint64_t entry = module_.readU64(entry_addr);
+        if (!arch_.present(entry) || arch_.blockMarked(entry))
             return 0;
-        table = entry.pfn();
+        table = arch_.pfn(entry);
     }
     return 0;
 }
 
-Pte
+std::uint64_t
 PageWalker::entryAt(Pfn root, VAddr vaddr, unsigned level)
 {
     const Addr addr = entryAddress(root, vaddr, level);
-    return addr ? Pte(module_.readU64(addr)) : Pte(0);
+    return addr ? module_.readU64(addr) : 0;
 }
 
 } // namespace ctamem::paging

@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/module.hh"
+#include "paging/arch.hh"
 #include "paging/pte.hh"
 
 namespace ctamem::paging {
@@ -32,7 +33,7 @@ enum class Fault : std::uint8_t
 {
     None,
     NotPresent, //!< a non-present entry on the walk path
-    Protection, //!< U/S, R/W or NX check failed
+    Protection, //!< user/writable check failed
     OutOfRange, //!< an entry pointed past the end of physical memory
 };
 
@@ -41,23 +42,28 @@ struct WalkResult
 {
     Fault fault = Fault::None;
     Addr phys = 0;        //!< translated physical address
-    unsigned leafLevel = 1; //!< level the leaf was found at (1/2/3)
+    unsigned leafLevel = 1; //!< level the leaf was found at
     bool writable = false;
     bool user = false;
 
     bool ok() const { return fault == Fault::None; }
 };
 
-/** Walks 4-level x86-64 page tables held in a DramModule. */
+/**
+ * Walks the radix page tables described by a paging::Arch held in a
+ * DramModule.  Defaults to the historical x86-64 4-level descriptor.
+ */
 class PageWalker
 {
   public:
-    explicit PageWalker(dram::DramModule &module);
+    explicit PageWalker(dram::DramModule &module,
+                        const Arch &arch = kX86_64);
 
     /**
      * Translate @p vaddr through the hierarchy rooted at @p root.
-     * Permission semantics follow x86: for user accesses every level
-     * must have U/S set; writes require R/W at every level.
+     * Permission semantics follow the descriptor: with hierarchical
+     * permissions (x86) every level must allow the access; otherwise
+     * (ARM) the leaf alone decides.
      */
     WalkResult walk(Pfn root, VAddr vaddr, AccessType access,
                     Privilege privilege);
@@ -71,21 +77,25 @@ class PageWalker
     Addr entryAddress(Pfn root, VAddr vaddr, unsigned level);
 
     /** Read the entry at @p level for @p vaddr (raw, unchecked). */
-    Pte entryAt(Pfn root, VAddr vaddr, unsigned level);
+    std::uint64_t entryAt(Pfn root, VAddr vaddr, unsigned level);
 
-    /** Counters: walks, faults, leafLevel1/2/3 hits. */
+    /** The descriptor this walker decodes entries with. */
+    const Arch &arch() const { return arch_; }
+
+    /** Counters: walks, faults, leafLevel<n> hits. */
     StatGroup &stats() { return stats_; }
 
   private:
-    /** Largest level a leaf can occur at (1 GiB pages). */
-    static constexpr unsigned maxLeafLevel = 3;
+    /** Largest level count any descriptor admits. */
+    static constexpr unsigned maxLevels = 4;
 
     dram::DramModule &module_;
+    const Arch &arch_;
     StatGroup stats_;
     StatId walksId_;
     StatId faultsId_;
     /** Pre-registered "leafLevel<n>" handles, indexed by level. */
-    StatId leafLevelIds_[maxLeafLevel + 1];
+    StatId leafLevelIds_[maxLevels + 1];
 };
 
 } // namespace ctamem::paging

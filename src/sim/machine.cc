@@ -68,6 +68,7 @@ Machine::assemble(const kernel::BootImage *image)
     const defense::DefenseParams params = defenseParams(config);
     if (spec->configureKernel)
         spec->configureKernel(params, kconfig);
+    kconfig.arch = &paging::resolveArch(config.arch, config.granule);
 
     kernel_ = image
         ? std::make_unique<kernel::Kernel>(kconfig, *image)

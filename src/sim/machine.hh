@@ -25,6 +25,7 @@
 #include "dram/hammer.hh"
 #include "fuzz/fuzzer.hh"
 #include "kernel/kernel.hh"
+#include "paging/arch.hh"
 
 namespace ctamem::sim {
 
@@ -70,6 +71,16 @@ struct MachineConfig
      * loops only consume flip counts.
      */
     bool recordFlipEvents = false;
+
+    /**
+     * Paging architecture the machine boots with.  The (arch,
+     * granule) pair resolves to one of the built-in descriptors via
+     * paging::resolveArch; the defaults are the historical x86-64
+     * machine and serialize to nothing, so schema-v3 manifests keep
+     * their exact meaning and cache keys.
+     */
+    paging::Isa arch = paging::Isa::X86_64;
+    std::uint64_t granule = 4 * KiB;
 
     bool operator==(const MachineConfig &) const = default;
 };

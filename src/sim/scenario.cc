@@ -140,6 +140,14 @@ toJson(const MachineConfig &config)
         .set("trrSamplers", config.trrSamplers)
         .set("trrWindow", config.trrWindow)
         .set("fuzz", fuzzToJson(config.fuzz));
+    // The historical x86-64 machine serializes exactly as it did in
+    // schema v3: the arch keys appear only off the default, keeping
+    // golden manifests and cache keys byte-identical.
+    if (config.arch != paging::Isa::X86_64 ||
+        config.granule != 4 * KiB) {
+        j.set("arch", std::string(paging::isaName(config.arch)))
+            .set("granule", config.granule);
+    }
     return j;
 }
 
@@ -188,8 +196,25 @@ machineConfigFromJson(const Json &j, const MachineConfig &base)
             config.trrWindow = asUnsigned(value);
         else if (key == "fuzz")
             config.fuzz = fuzzFromJson(value, base.fuzz);
+        else if (key == "arch") {
+            if (!paging::parseIsa(value.asString(), config.arch)) {
+                throw JsonError("unknown arch \"" + value.asString() +
+                                "\" (known: x86_64 aarch64)");
+            }
+        } else if (key == "granule")
+            config.granule = value.asU64();
         else
             unknownKey("MachineConfig", key);
+    }
+    // Reject unbuildable (arch, granule) pairs at parse time, where
+    // the error can name the manifest instead of aborting the run.
+    if (config.arch == paging::Isa::X86_64) {
+        if (config.granule != 4 * KiB)
+            throw JsonError("x86_64 supports only the 4 KiB granule");
+    } else if (config.granule != 4 * KiB &&
+               config.granule != 16 * KiB &&
+               config.granule != 64 * KiB) {
+        throw JsonError("aarch64 granule must be 4, 16 or 64 KiB");
     }
     return config;
 }
@@ -354,12 +379,15 @@ campaignFromJson(const Json &manifest)
         if (isComment(key) || key == "base")
             continue;
         else if (key == "schema_version") {
-            // Part of every cache key: a manifest written against a
-            // different schema must fail loudly, not parse loosely.
-            if (value.asU64() != kScenarioSchemaVersion) {
+            // A manifest written against an incompatible schema must
+            // fail loudly, not parse loosely.  v3 is accepted: v4 is
+            // a strict superset whose added keys default to the v3
+            // meaning.
+            const std::uint64_t version = value.asU64();
+            if (version != kScenarioSchemaVersion && version != 3) {
                 throw JsonError(
                     "manifest schema_version " +
-                    std::to_string(value.asU64()) +
+                    std::to_string(version) +
                     " does not match this build's schema version " +
                     std::to_string(kScenarioSchemaVersion));
             }

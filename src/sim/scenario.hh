@@ -52,9 +52,23 @@ namespace ctamem::sim {
  * fields (Section 7 zoning, previously unreachable from manifests);
  * v3 adds the TRR-sampler knobs (trrSamplers / trrWindow) and the
  * nested "fuzz" block (REF timing + pattern-search configuration
- * consumed by the uniform / sync_hammer / fuzz_hammer attacks).
+ * consumed by the uniform / sync_hammer / fuzz_hammer attacks);
+ * v4 adds the "arch" / "granule" machine keys (paging backend
+ * selection).  v4 is a strict superset of v3 — both keys default to
+ * the historical x86-64 machine and are omitted from output when at
+ * their defaults — so v3 manifests are still accepted and keep their
+ * exact meaning.
  */
-inline constexpr std::uint64_t kScenarioSchemaVersion = 3;
+inline constexpr std::uint64_t kScenarioSchemaVersion = 4;
+
+/**
+ * Epoch folded into campaign-service result cache keys.  Distinct
+ * from the schema version: bumping the schema for a purely additive
+ * change (like v3 -> v4) must NOT invalidate cached results for
+ * manifests whose meaning is unchanged, so the epoch only moves when
+ * result semantics move.  Last moved with schema v3.
+ */
+inline constexpr std::uint64_t kResultCacheEpoch = 3;
 
 /** @name MachineConfig <-> JSON */
 /** @{ */

@@ -29,8 +29,11 @@ keyOf(const json::Json &j)
 {
     const std::string dump = j.dump();
     const std::uint64_t content = hashBytes(dump.data(), dump.size());
+    // Chained with the result-cache *epoch*, not the schema version:
+    // additive schema bumps (v3 -> v4) leave canonical dumps — and so
+    // cached results — for unchanged machines intact.
     return hexDigest(
-        stableHash(content, sim::kScenarioSchemaVersion));
+        stableHash(content, sim::kResultCacheEpoch));
 }
 
 } // namespace

@@ -98,7 +98,7 @@ class ResultCache
 
 /**
  * Content-address of one campaign cell: a hex digest of the cell's
- * canonical JSON chained with kScenarioSchemaVersion.
+ * canonical JSON chained with kResultCacheEpoch.
  */
 std::string cellCacheKey(const sim::CampaignCell &cell);
 

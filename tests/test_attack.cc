@@ -213,12 +213,18 @@ TEST(CattBypass, DoubleOwnedPagesDoNotDefeatCta)
 TEST(Exploit, LooksLikePteHeuristic)
 {
     const std::uint64_t mem = 256 * MiB;
-    EXPECT_TRUE(looksLikePte(
-        paging::Pte::make(addrToPfn(32 * MiB),
-                          paging::PageFlags{true, true}).raw(),
-        mem));
-    EXPECT_FALSE(looksLikePte(0, mem));                  // not present
-    EXPECT_FALSE(looksLikePte(0xdeadbeefdeadbeee, mem)); // junk, huge
+    for (const paging::Arch *arch : paging::kAllArches) {
+        EXPECT_TRUE(looksLikePte(
+            *arch,
+            arch->makeLeaf(addrToPfn(32 * MiB),
+                           paging::PageFlags{true, true}, 1),
+            mem))
+            << arch->name;
+        EXPECT_FALSE(looksLikePte(*arch, 0, mem)) << arch->name;
+    }
+    // Junk with a huge pointer field fails the bounds check.
+    EXPECT_FALSE(
+        looksLikePte(paging::kX86_64, 0xdeadbeefdeadbeee, mem));
 }
 
 } // namespace

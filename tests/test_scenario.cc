@@ -14,6 +14,7 @@
 
 #include "attack/registry.hh"
 #include "defense/registry.hh"
+#include "paging/arch.hh"
 #include "sim/scenario.hh"
 #include "sim/scenarios.hh"
 
@@ -200,10 +201,16 @@ TEST(Scenario, SchemaVersionGatesManifests)
     manifest.set("schema_version", kScenarioSchemaVersion);
     EXPECT_EQ(campaignFromJson(manifest).size(), 1u);
 
+    // ...and so does v3: v4 is a strict superset (the arch/granule
+    // keys default to the historical x86-64 machine), so the v3
+    // manifest corpus keeps its exact meaning.
+    manifest.set("schema_version", std::uint64_t{3});
+    EXPECT_EQ(campaignFromJson(manifest).size(), 1u);
+
     // ...any other version is a hard error naming the field, never a
     // best-effort parse of a stale manifest.
     for (const std::uint64_t bad :
-         {std::uint64_t{0}, kScenarioSchemaVersion - 1,
+         {std::uint64_t{0}, std::uint64_t{2},
           kScenarioSchemaVersion + 1}) {
         manifest.set("schema_version", bad);
         try {
@@ -229,6 +236,36 @@ TEST(Scenario, CheckedInManifestsCarryTheSchemaVersion)
         EXPECT_EQ(version->asU64(), kScenarioSchemaVersion)
             << entry.path();
     }
+}
+
+TEST(Scenario, ArchKeysRoundTripAndGateTheirValues)
+{
+    // Non-default backend: both keys serialize and round-trip.
+    MachineConfig config;
+    config.arch = paging::Isa::AArch64;
+    config.granule = 16 * KiB;
+    EXPECT_TRUE(machineConfigFromJson(toJson(config)) == config);
+
+    // At the defaults they serialize to *nothing*: a v3 manifest and
+    // its v4 twin produce identical canonical dumps, so svc cache
+    // keys for unchanged machines survive the schema bump.
+    const std::string dump = toJson(MachineConfig{}).dump();
+    EXPECT_EQ(dump.find("arch"), std::string::npos);
+    EXPECT_EQ(dump.find("granule"), std::string::npos);
+
+    // Unknown ISA names and unsupported (isa, granule) pairs are
+    // hard errors at parse time, not boot-time fatals.
+    EXPECT_THROW(
+        machineConfigFromJson(Json::parse(R"({"arch": "riscv"})")),
+        JsonError);
+    EXPECT_THROW(machineConfigFromJson(
+                     Json::parse(R"({"granule": 16384})")),
+                 JsonError); // x86-64 is 4 KiB only
+    EXPECT_THROW(machineConfigFromJson(Json::parse(
+                     R"({"arch": "aarch64", "granule": 8192})")),
+                 JsonError);
+    EXPECT_NO_THROW(machineConfigFromJson(Json::parse(
+        R"({"arch": "aarch64", "granule": 65536})")));
 }
 
 TEST(Scenario, MachineConfigGoldenBytes)
